@@ -1,0 +1,190 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/string_util.hpp"
+
+namespace dosc::bench {
+
+namespace {
+const char* kCacheDir = "dosc_bench_cache";
+
+std::string cache_path(const std::string& key, const BenchScale& scale) {
+  return std::string(kCacheDir) + "/" + key + (scale.full ? "_full" : "_quick") + ".json";
+}
+
+std::optional<core::TrainedPolicy> load_cached(const std::string& path) {
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  try {
+    return core::load_policy(path);
+  } catch (const std::exception&) {
+    return std::nullopt;  // stale/corrupt cache entry: retrain
+  }
+}
+
+void store_cached(const std::string& path, const core::TrainedPolicy& policy) {
+  std::filesystem::create_directories(kCacheDir);
+  core::save_policy(policy, path);
+}
+}  // namespace
+
+BenchScale BenchScale::from_env() {
+  BenchScale scale;
+  scale.central_iterations = 150;
+  const char* env = std::getenv("DOSC_BENCH_SCALE");
+  if (env != nullptr && std::string(env) == "full") {
+    scale.full = true;
+    scale.train_iterations = 600;
+    scale.train_seeds = 5;
+    scale.central_iterations = 300;
+    scale.central_seeds = 3;
+    scale.eval_seeds = 30;       // paper: 30 random seeds
+    scale.eval_time = 20000.0;   // paper: T = 20000 time steps
+    scale.train_episode_time = 2000.0;
+    scale.hidden = {256, 256};   // paper: 2x256 hidden units
+  }
+  return scale;
+}
+
+core::TrainedPolicy distributed_policy(const sim::Scenario& scenario,
+                                       const std::string& cache_key, const BenchScale& scale) {
+  const std::string path = cache_path("dist_" + cache_key, scale);
+  if (auto cached = load_cached(path)) {
+    std::printf("  [policy %s: cached]\n", cache_key.c_str());
+    return *cached;
+  }
+  // Larger observation/action spaces (high-degree topologies) need more
+  // updates to reach comparable policy quality; scale the budget with the
+  // network degree relative to Abilene's (3).
+  const double degree_factor =
+      std::max(1.0, static_cast<double>(scenario.network().max_degree()) / 3.0);
+  const std::size_t iterations = static_cast<std::size_t>(
+      static_cast<double>(scale.train_iterations) * std::min(4.0, degree_factor));
+  std::printf("  [policy %s: training %zu seeds x %zu iterations...]\n", cache_key.c_str(),
+              scale.train_seeds, iterations);
+  std::fflush(stdout);
+  core::TrainingConfig config;
+  config.hidden = scale.hidden;
+  config.num_seeds = scale.train_seeds;
+  config.iterations = iterations;
+  config.train_episode_time = scale.train_episode_time;
+  config.updater.lr_decay_updates = iterations;
+  config.eval_episodes = 2;
+  config.eval_episode_time = 2000.0;
+  const core::TrainedPolicy policy = core::train_distributed_policy(scenario, config);
+  store_cached(path, policy);
+  return policy;
+}
+
+core::TrainedPolicy central_policy(const sim::Scenario& scenario,
+                                   const std::string& cache_key, const BenchScale& scale) {
+  const std::string path = cache_path("central_" + cache_key, scale);
+  if (auto cached = load_cached(path)) {
+    std::printf("  [central policy %s: cached]\n", cache_key.c_str());
+    return *cached;
+  }
+  std::printf("  [central policy %s: training %zu seeds x %zu iterations...]\n",
+              cache_key.c_str(), scale.central_seeds, scale.central_iterations);
+  std::fflush(stdout);
+  baselines::CentralTrainingConfig config;
+  config.central.hidden = scale.hidden;
+  config.num_seeds = scale.central_seeds;
+  config.iterations = scale.central_iterations;
+  config.train_episode_time = scale.train_episode_time;
+  config.updater.lr_decay_updates = scale.central_iterations;
+  config.eval_episodes = 2;
+  config.eval_episode_time = 2000.0;
+  const core::TrainedPolicy policy = baselines::train_central_policy(scenario, config);
+  store_cached(path, policy);
+  return policy;
+}
+
+const char* algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kDistributedDrl: return "DistDRL";
+    case Algo::kCentralDrl: return "CentralDRL";
+    case Algo::kGcasp: return "GCASP";
+    case Algo::kShortestPath: return "SP";
+  }
+  return "?";
+}
+
+AlgoStats evaluate(const sim::Scenario& scenario, Algo algo, const BenchScale& scale,
+                   const core::TrainedPolicy* policy, std::uint64_t seed_base) {
+  AlgoStats stats;
+  const sim::Scenario eval_scenario = core::scenario_with_end_time(scenario, scale.eval_time);
+
+  std::optional<rl::ActorCritic> net;
+  if (policy != nullptr) net.emplace(policy->instantiate());
+
+  for (std::size_t e = 0; e < scale.eval_seeds; ++e) {
+    const std::uint64_t seed = seed_base + e;
+    sim::Simulator sim(eval_scenario, seed);
+    sim::SimMetrics metrics;
+    switch (algo) {
+      case Algo::kDistributedDrl: {
+        core::DistributedDrlCoordinator c(*net, scenario.network().max_degree());
+        c.enable_timing(true);
+        metrics = sim.run(c);
+        stats.decision_us.merge(c.decision_time_us());
+        break;
+      }
+      case Algo::kCentralDrl: {
+        baselines::CentralDrlConfig config;
+        config.hidden = scale.hidden;
+        baselines::CentralDrlCoordinator c(*net, config, core::RewardConfig{});
+        c.enable_timing(true);
+        metrics = sim.run(c, &c);
+        stats.decision_us.merge(c.decision_time_us());
+        break;
+      }
+      case Algo::kGcasp: {
+        baselines::GcaspCoordinator c;
+        c.enable_timing(true);
+        metrics = sim.run(c);
+        stats.decision_us.merge(c.decision_time_us());
+        break;
+      }
+      case Algo::kShortestPath: {
+        baselines::ShortestPathCoordinator c;
+        c.enable_timing(true);
+        metrics = sim.run(c);
+        stats.decision_us.merge(c.decision_time_us());
+        break;
+      }
+    }
+    stats.success.add(metrics.success_ratio());
+    if (metrics.e2e_delay.count() > 0) stats.e2e_delay.add(metrics.e2e_delay.mean());
+  }
+  return stats;
+}
+
+namespace {
+constexpr std::size_t kLabelWidth = 22;
+constexpr std::size_t kCellWidth = 16;
+}  // namespace
+
+void print_header(const std::string& title, const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::string line = util::pad_right("", kLabelWidth);
+  for (const std::string& c : columns) line += util::pad_left(c, kCellWidth);
+  std::printf("%s\n", line.c_str());
+  std::printf("%s\n", std::string(kLabelWidth + kCellWidth * columns.size(), '-').c_str());
+}
+
+void print_row(const std::string& label, const std::vector<std::string>& cells) {
+  std::string line = util::pad_right(label, kLabelWidth);
+  for (const std::string& c : cells) line += util::pad_left(c, kCellWidth);
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+}
+
+std::string fmt_mean_std(const util::RunningStats& stats, int precision) {
+  return util::format_double(stats.mean(), precision) + "+-" +
+         util::format_double(stats.stddev(), precision);
+}
+
+}  // namespace dosc::bench

@@ -1,0 +1,76 @@
+// Shared infrastructure for the per-figure benchmark harnesses.
+//
+// Every table/figure binary follows the paper's experiment protocol: train
+// the DRL agents on the scenario (centralized offline training), deploy,
+// then evaluate all four algorithms over multiple random seeds and report
+// mean +- stddev of the success ratio (Eq. 1). Trained policies are cached
+// on disk (./dosc_bench_cache) keyed by scenario + scale, so harnesses that
+// share a configuration (e.g. Fig. 6 and Fig. 8) do not retrain.
+//
+// Scale: DOSC_BENCH_SCALE=quick (default) runs reduced-but-faithful sizes;
+// DOSC_BENCH_SCALE=full approaches the paper's setup (more training seeds
+// and iterations, 30 evaluation seeds, T = 20000). EXPERIMENTS.md discusses
+// the fidelity of both.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/central_drl.hpp"
+#include "baselines/gcasp.hpp"
+#include "baselines/shortest_path.hpp"
+#include "core/drl_env.hpp"
+#include "core/policy_io.hpp"
+#include "core/trainer.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace dosc::bench {
+
+struct BenchScale {
+  bool full = false;
+  std::size_t train_iterations = 150;
+  std::size_t train_seeds = 1;
+  std::size_t central_iterations = 80;
+  std::size_t central_seeds = 1;
+  std::size_t eval_seeds = 5;
+  double eval_time = 3000.0;
+  double train_episode_time = 1000.0;
+  std::vector<std::size_t> hidden{64, 64};
+
+  /// Reads DOSC_BENCH_SCALE ("quick" default, "full" = paper scale).
+  static BenchScale from_env();
+};
+
+/// mean/stddev of the per-seed success ratios, plus delay diagnostics.
+struct AlgoStats {
+  util::RunningStats success;
+  util::RunningStats e2e_delay;      ///< mean delay of completed flows (ms)
+  util::RunningStats decision_us;    ///< per-decision wall clock
+};
+
+/// Train (or load from cache) the distributed DRL policy for a scenario.
+core::TrainedPolicy distributed_policy(const sim::Scenario& scenario,
+                                       const std::string& cache_key, const BenchScale& scale);
+
+/// Train (or load from cache) the centralized DRL baseline's policy.
+core::TrainedPolicy central_policy(const sim::Scenario& scenario,
+                                   const std::string& cache_key, const BenchScale& scale);
+
+enum class Algo { kDistributedDrl, kCentralDrl, kGcasp, kShortestPath };
+const char* algo_name(Algo algo);
+
+/// Evaluate one algorithm on the scenario over `scale.eval_seeds` episodes
+/// of `scale.eval_time` ms. For the DRL algorithms, pass their policy.
+AlgoStats evaluate(const sim::Scenario& scenario, Algo algo, const BenchScale& scale,
+                   const core::TrainedPolicy* policy = nullptr,
+                   std::uint64_t seed_base = 424242);
+
+/// Aligned table output helpers.
+void print_header(const std::string& title, const std::vector<std::string>& columns);
+void print_row(const std::string& label, const std::vector<std::string>& cells);
+std::string fmt_mean_std(const util::RunningStats& stats, int precision = 3);
+
+}  // namespace dosc::bench

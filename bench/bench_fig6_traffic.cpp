@@ -1,0 +1,81 @@
+// Fig. 6: successful flows vs number of ingress nodes (1-5) under four
+// traffic patterns — (a) fixed arrival every 10 steps, (b) Poisson
+// (mean 10), (c) MMPP (means 12/8, switch 5% per 100 steps), (d) real-world
+// traces (synthetic diurnal substitute, DESIGN.md #2).
+//
+// Expected shape (paper): all algorithms near-perfect at 1 ingress; the DRL
+// approaches hold ~100% through 3 ingresses; DistDRL degrades slowest and
+// leads at 4-5; CentralDRL loses ground under stochastic arrivals (stale
+// monitoring); SP collapses once the co-located ingresses' shortest paths
+// saturate.
+//
+// Quick scale trains one policy per traffic pattern (at 3 ingress nodes)
+// and evaluates it across loads — justified by the paper's own Fig. 8b
+// (load generalization). DOSC_BENCH_SCALE=full retrains per load level.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dosc;
+
+namespace {
+
+struct Pattern {
+  const char* name;
+  traffic::TrafficSpec spec;
+};
+
+void run_pattern(const Pattern& pattern, const bench::BenchScale& scale) {
+  bench::print_header(std::string("Fig. 6 (") + pattern.name + "): success ratio vs #ingress",
+                      {"1", "2", "3", "4", "5"});
+
+  // Policies. Quick: one per pattern, trained at the mid load level.
+  core::TrainedPolicy dist;
+  core::TrainedPolicy central;
+  if (!scale.full) {
+    const sim::Scenario train_scenario = sim::make_base_scenario(3, pattern.spec);
+    dist = bench::distributed_policy(train_scenario,
+                                     std::string("fig6_") + pattern.name + "_in3", scale);
+    central = bench::central_policy(train_scenario,
+                                    std::string("fig6_") + pattern.name + "_in3", scale);
+  }
+
+  std::vector<std::vector<std::string>> cells(4);
+  for (std::size_t ingress = 1; ingress <= 5; ++ingress) {
+    const sim::Scenario scenario = sim::make_base_scenario(ingress, pattern.spec);
+    if (scale.full) {
+      const std::string key =
+          std::string("fig6_") + pattern.name + "_in" + std::to_string(ingress);
+      dist = bench::distributed_policy(scenario, key, scale);
+      central = bench::central_policy(scenario, key, scale);
+    }
+    cells[0].push_back(bench::fmt_mean_std(
+        bench::evaluate(scenario, bench::Algo::kDistributedDrl, scale, &dist).success));
+    cells[1].push_back(bench::fmt_mean_std(
+        bench::evaluate(scenario, bench::Algo::kCentralDrl, scale, &central).success));
+    cells[2].push_back(bench::fmt_mean_std(
+        bench::evaluate(scenario, bench::Algo::kGcasp, scale).success));
+    cells[3].push_back(bench::fmt_mean_std(
+        bench::evaluate(scenario, bench::Algo::kShortestPath, scale).success));
+  }
+  bench::print_row("DistDRL (ours)", cells[0]);
+  bench::print_row("CentralDRL", cells[1]);
+  bench::print_row("GCASP", cells[2]);
+  bench::print_row("SP", cells[3]);
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchScale scale = bench::BenchScale::from_env();
+  std::printf("Fig. 6 — varying traffic patterns (%s scale, %zu eval seeds, T=%.0f)\n",
+              scale.full ? "full" : "quick", scale.eval_seeds, scale.eval_time);
+  const Pattern patterns[] = {
+      {"fixed", traffic::TrafficSpec::fixed(10.0)},
+      {"poisson", traffic::TrafficSpec::poisson(10.0)},
+      {"mmpp", traffic::TrafficSpec::mmpp()},
+      {"trace", traffic::TrafficSpec::diurnal_trace()},
+  };
+  for (const Pattern& pattern : patterns) run_pattern(pattern, scale);
+  return 0;
+}

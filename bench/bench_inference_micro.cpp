@@ -1,0 +1,104 @@
+// Microbenchmark behind Fig. 9b, via google-benchmark: the cost of one
+// coordination decision as a function of the topology.
+//
+//  * BM_DistributedDecision: one local actor forward with the paper's
+//    2x256 network. The observation size is 4*Delta_G + 4, so the cost
+//    tracks the network DEGREE, not the node count — Abilene (11 nodes)
+//    and Interroute (110 nodes) are within ~2x of each other.
+//  * BM_CentralRuleUpdate: the centralized baseline's periodic decision —
+//    its observation is O(|V|) and it decides for every component, so the
+//    cost grows with the network size.
+//  * BM_HeuristicDecision: GCASP-style neighbour scan, for reference.
+#include <benchmark/benchmark.h>
+
+#include "core/observation.hpp"
+#include "net/topology_zoo.hpp"
+#include "rl/actor_critic.hpp"
+
+using namespace dosc;
+
+namespace {
+
+const net::Network& topology(int index) {
+  static const net::Network nets[] = {net::abilene(), net::bt_europe(),
+                                      net::china_telecom(), net::interroute()};
+  return nets[index];
+}
+
+const char* topology_label(int index) {
+  static const char* labels[] = {"Abilene", "BT_Europe", "China_Telecom", "Interroute"};
+  return labels[index];
+}
+
+rl::ActorCritic make_policy(std::size_t obs_dim, std::size_t actions) {
+  rl::ActorCriticConfig config;
+  config.obs_dim = obs_dim;
+  config.num_actions = actions;
+  config.hidden = {256, 256};  // paper-scale network
+  config.seed = 1;
+  return rl::ActorCritic(config);
+}
+
+}  // namespace
+
+static void BM_DistributedDecision(benchmark::State& state) {
+  const net::Network& network = topology(static_cast<int>(state.range(0)));
+  const std::size_t degree = network.max_degree();
+  const rl::ActorCritic policy = make_policy(core::observation_dim(degree), degree + 1);
+  std::vector<double> obs(core::observation_dim(degree), 0.2);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    obs[1] = rng.uniform(0.0, 1.0);  // defeat trivial caching
+    benchmark::DoNotOptimize(policy.greedy_action(obs));
+  }
+  state.SetLabel(std::string(topology_label(static_cast<int>(state.range(0)))) + " |V|=" +
+                 std::to_string(network.num_nodes()) + " deg=" + std::to_string(degree));
+}
+BENCHMARK(BM_DistributedDecision)->DenseRange(0, 3);
+
+static void BM_CentralRuleUpdate(benchmark::State& state) {
+  const net::Network& network = topology(static_cast<int>(state.range(0)));
+  const std::size_t num_nodes = network.num_nodes();
+  const std::size_t num_components = 3;  // the video-streaming chain
+  const rl::ActorCritic policy = make_policy(num_nodes + num_components + 1, num_nodes);
+  std::vector<double> obs(num_nodes + num_components + 1, 0.3);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    obs[0] = rng.uniform(0.0, 1.0);
+    // One rule decision per component, as CentralDrlCoordinator does.
+    for (std::size_t c = 0; c < num_components; ++c) {
+      obs[num_nodes + c] = 1.0;
+      benchmark::DoNotOptimize(policy.greedy_action(obs));
+      obs[num_nodes + c] = 0.0;
+    }
+  }
+  state.SetLabel(std::string(topology_label(static_cast<int>(state.range(0)))) + " |V|=" +
+                 std::to_string(num_nodes));
+}
+BENCHMARK(BM_CentralRuleUpdate)->DenseRange(0, 3);
+
+static void BM_HeuristicDecision(benchmark::State& state) {
+  const net::Network& network = topology(static_cast<int>(state.range(0)));
+  const net::ShortestPaths sp(network);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    // Neighbour scan comparable to GCASP's candidate ranking.
+    const net::NodeId v =
+        static_cast<net::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(network.num_nodes()) - 1));
+    double best = 1e18;
+    int best_action = 0;
+    const auto& neighbors = network.neighbors(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const double d = sp.delay_via(v, neighbors[i], 0);
+      if (d < best) {
+        best = d;
+        best_action = static_cast<int>(i + 1);
+      }
+    }
+    benchmark::DoNotOptimize(best_action);
+  }
+  state.SetLabel(topology_label(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_HeuristicDecision)->DenseRange(0, 3);
+
+BENCHMARK_MAIN();

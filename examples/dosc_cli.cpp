@@ -1,0 +1,165 @@
+// dosc command-line tool: drive the library from scenario JSON files
+// without writing C++. Subcommands:
+//
+//   dosc_cli topology <name>                     print stats + JSON export
+//   dosc_cli train <scenario.json> <policy.json> [--iterations N] [--seeds K]
+//   dosc_cli eval  <scenario.json> <algo> [--policy policy.json]
+//                  [--episodes N] [--time MS]    algo: dist|gcasp|sp
+//   dosc_cli trace <out.json> [--seed S] [--horizon MS]
+//
+// Scenario files use sim::ScenarioConfig::to_json()'s schema; see
+// scenarios/ for ready-made examples.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/gcasp.hpp"
+#include "baselines/shortest_path.hpp"
+#include "core/policy_io.hpp"
+#include "core/trainer.hpp"
+#include "net/topology_io.hpp"
+#include "net/topology_zoo.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/trace.hpp"
+
+using namespace dosc;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dosc_cli topology <abilene|bt_europe|china_telecom|interroute>\n"
+               "  dosc_cli train <scenario.json> <policy.json> [--iterations N] [--seeds K]\n"
+               "  dosc_cli eval <scenario.json> <dist|gcasp|sp> [--policy p.json]\n"
+               "                [--episodes N] [--time MS]\n"
+               "  dosc_cli trace <out.json> [--seed S] [--horizon MS]\n");
+  return 2;
+}
+
+/// Value of "--flag" in argv, or fallback.
+double flag(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* flag_str(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+sim::Scenario load_scenario(const std::string& path) {
+  const sim::ScenarioConfig config =
+      sim::ScenarioConfig::from_json(util::Json::load_file(path));
+  return sim::Scenario(config, sim::make_video_streaming_catalog());
+}
+
+int cmd_topology(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const net::Network network = net::by_name(argv[2]);
+  const net::TopologyStats s = net::stats(network);
+  std::printf("%s: %zu nodes, %zu edges, degree %zu/%zu/%.2f, connected: %s\n",
+              network.name().c_str(), s.nodes, s.edges, s.min_degree, s.max_degree,
+              s.avg_degree, network.connected() ? "yes" : "no");
+  const std::string out = std::string(argv[2]) + "_topology.json";
+  net::save_network(network, out);
+  std::printf("exported to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const sim::Scenario scenario = load_scenario(argv[2]);
+  core::TrainingConfig config;
+  config.iterations = static_cast<std::size_t>(flag(argc, argv, "--iterations", 150));
+  config.num_seeds = static_cast<std::size_t>(flag(argc, argv, "--seeds", 1));
+  config.updater.lr_decay_updates = config.iterations;
+  std::printf("training on '%s' (%zu seeds x %zu iterations)...\n",
+              scenario.config().name.c_str(), config.num_seeds, config.iterations);
+  const core::TrainedPolicy policy = core::train_distributed_policy(
+      scenario, config, [](const core::TrainingProgress& p) {
+        if (p.iteration % 25 == 0) {
+          std::printf("  seed %zu iter %3zu reward %9.1f\n", p.seed_index, p.iteration,
+                      p.mean_episode_reward);
+        }
+      });
+  core::save_policy(policy, argv[3]);
+  std::printf("saved %s (eval success %.3f)\n", argv[3], policy.eval_success_ratio);
+  return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const sim::Scenario scenario = load_scenario(argv[2]);
+  const std::string algo = argv[3];
+  const std::size_t episodes = static_cast<std::size_t>(flag(argc, argv, "--episodes", 5));
+  const double time = flag(argc, argv, "--time", 5000.0);
+  const sim::Scenario eval = core::scenario_with_end_time(scenario, time);
+
+  util::RunningStats success;
+  util::RunningStats delay;
+  for (std::size_t e = 0; e < episodes; ++e) {
+    sim::Simulator sim(eval, 424242 + e);
+    sim::SimMetrics m;
+    if (algo == "dist") {
+      const char* policy_path = flag_str(argc, argv, "--policy", nullptr);
+      if (policy_path == nullptr) {
+        std::fprintf(stderr, "eval dist requires --policy <file>\n");
+        return 2;
+      }
+      static const core::TrainedPolicy policy = core::load_policy(policy_path);
+      static const rl::ActorCritic net = policy.instantiate();
+      core::DistributedDrlCoordinator c(net, scenario.network().max_degree());
+      m = sim.run(c);
+    } else if (algo == "gcasp") {
+      baselines::GcaspCoordinator c;
+      m = sim.run(c);
+    } else if (algo == "sp") {
+      baselines::ShortestPathCoordinator c;
+      m = sim.run(c);
+    } else {
+      return usage();
+    }
+    success.add(m.success_ratio());
+    if (m.e2e_delay.count() > 0) delay.add(m.e2e_delay.mean());
+  }
+  std::printf("%s on '%s': success %.3f +- %.3f, avg e2e %.1f ms (%zu episodes x %.0f ms)\n",
+              algo.c_str(), scenario.config().name.c_str(), success.mean(), success.stddev(),
+              delay.mean(), episodes, time);
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 3) return usage();
+  traffic::DiurnalTraceConfig config;
+  config.seed = static_cast<std::uint64_t>(flag(argc, argv, "--seed", 42));
+  config.horizon = flag(argc, argv, "--horizon", 20000.0);
+  const traffic::RateTrace trace = traffic::make_diurnal_trace(config);
+  trace.save(argv[2]);
+  std::printf("wrote %zu-segment diurnal trace (horizon %.0f ms) to %s\n",
+              trace.segments().size(), trace.horizon(), argv[2]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "topology") return cmd_topology(argc, argv);
+    if (command == "train") return cmd_train(argc, argv);
+    if (command == "eval") return cmd_eval(argc, argv);
+    if (command == "trace") return cmd_trace(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,55 @@
+// Domain example: generalization without retraining (paper Sec. V-D).
+//
+// Trains one agent on smooth Poisson traffic, then confronts it — with NO
+// retraining — with situations it never saw: bursty MMPP arrivals, a
+// diurnal real-world-like trace, and higher load (more ingress nodes). The
+// observation design (normalized, degree-padded, node-id free) is what
+// makes this work; this example lets you watch it.
+//
+//   ./examples/generalization [iterations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/trainer.hpp"
+#include "sim/scenario.hpp"
+
+using namespace dosc;
+
+namespace {
+
+double evaluate(const sim::Scenario& scenario, const rl::ActorCritic& net) {
+  return core::evaluate_policy(scenario, net, core::RewardConfig{}, /*episodes=*/3,
+                               /*episode_time=*/4000.0, /*seed_base=*/900)
+      .success_ratio;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::TrainingConfig config;
+  config.iterations = (argc > 1) ? static_cast<std::size_t>(std::atoi(argv[1])) : 200;
+  config.num_seeds = 2;
+  config.updater.lr_decay_updates = config.iterations;
+
+  std::printf("Training ONCE on: Abilene, 2 ingress, Poisson(10)...\n");
+  const sim::Scenario train_scenario =
+      sim::make_base_scenario(2, traffic::TrafficSpec::poisson(10.0));
+  const core::TrainedPolicy policy = core::train_distributed_policy(train_scenario, config);
+  const rl::ActorCritic net = policy.instantiate();
+
+  std::printf("\nEvaluating the SAME network, no retraining:\n");
+  std::printf("  seen:   Poisson, 2 ingress          -> %.3f\n",
+              evaluate(train_scenario, net));
+  std::printf("  unseen: MMPP bursts, 2 ingress      -> %.3f\n",
+              evaluate(sim::make_base_scenario(2, traffic::TrafficSpec::mmpp()), net));
+  std::printf("  unseen: diurnal trace, 2 ingress    -> %.3f\n",
+              evaluate(sim::make_base_scenario(2, traffic::TrafficSpec::diurnal_trace()), net));
+  std::printf("  unseen: Poisson, 4 ingress (2x load)-> %.3f\n",
+              evaluate(sim::make_base_scenario(4, traffic::TrafficSpec::poisson(10.0)), net));
+  std::printf("  unseen: tighter deadlines (tau=50)  -> %.3f\n",
+              evaluate(sim::make_base_scenario(2, traffic::TrafficSpec::poisson(10.0), 50.0),
+                       net));
+  std::printf("\nThe paper's Fig. 8 finding: generalizing agents stay close to retrained\n"
+              "ones and keep beating the hand-written baselines.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "baselines/gcasp.hpp"
+
+#include <limits>
+
+#include "baselines/shortest_path.hpp"
+#include "util/timer.hpp"
+
+namespace dosc::baselines {
+
+void GcaspCoordinator::on_episode_start(const sim::Simulator& /*sim*/) {
+  previous_node_.clear();
+}
+
+int GcaspCoordinator::decide(const sim::Simulator& sim, const sim::Flow& flow,
+                             net::NodeId node) {
+  util::Timer timer;
+  int action;
+  const bool needs_processing = !sim.fully_processed(flow);
+  if (needs_processing && sim.node_free(node) >= sim.component_demand(flow)) {
+    action = sim::kActionProcessLocal;
+  } else {
+    action = choose_forward(sim, flow, node, needs_processing);
+  }
+  if (action != sim::kActionProcessLocal) {
+    previous_node_[flow.id] = node;
+  }
+  if (timing_) decision_time_us_.add(timer.elapsed_micros());
+  return action;
+}
+
+int GcaspCoordinator::choose_forward(const sim::Simulator& sim, const sim::Flow& flow,
+                                     net::NodeId node, bool needs_processing) {
+  const net::Network& network = sim.network();
+  const net::ShortestPaths& sp = sim.shortest_paths();
+  const auto& neighbors = network.neighbors(node);
+  const double remaining = flow.remaining_deadline(sim.time());
+  const double demand = sim.component_demand(flow);
+
+  const auto prev_it = previous_node_.find(flow.id);
+  const net::NodeId prev =
+      (prev_it != previous_node_.end()) ? prev_it->second : net::kInvalidNode;
+
+  // Rank candidates: (tier, delay-to-egress). Lower tier wins; within a
+  // tier, shorter path to the egress wins. Tier 0 = neighbour can process
+  // (capacity + instance), 1 = has capacity, 2 = merely reachable.
+  int best_action = -1;
+  int best_tier = std::numeric_limits<int>::max();
+  double best_delay = std::numeric_limits<double>::infinity();
+  const auto consider = [&](std::size_t index, bool allow_prev) {
+    const net::Neighbor& nb = neighbors[index];
+    if (!allow_prev && nb.node == prev) return;
+    if (sim.link_free(nb.link) < flow.rate) return;  // saturated link
+    const double via = sp.delay_via(node, nb, flow.egress);
+    if (via > remaining) return;  // cannot meet the deadline any more
+    int tier = 2;
+    if (needs_processing && sim.node_free(nb.node) >= demand) {
+      const sim::ComponentId comp = sim.requested_component(flow);
+      tier = sim.instance_available(nb.node, comp) ? 0 : 1;
+    }
+    if (tier < best_tier || (tier == best_tier && via < best_delay)) {
+      best_tier = tier;
+      best_delay = via;
+      best_action = static_cast<int>(index + 1);
+    }
+  };
+
+  for (std::size_t i = 0; i < neighbors.size(); ++i) consider(i, /*allow_prev=*/false);
+  if (best_action < 0) {
+    // Allow going back as a last resort before blindly following the SP.
+    for (std::size_t i = 0; i < neighbors.size(); ++i) consider(i, /*allow_prev=*/true);
+  }
+  if (best_action >= 0) return best_action;
+
+  // Nothing feasible: push along the shortest path and hope (the flow will
+  // likely drop, as it would for the original heuristic).
+  const net::NodeId hop = sp.next_hop(node, flow.egress);
+  const int fallback = neighbor_action(network, node, hop);
+  return fallback > 0 ? fallback : sim::kActionProcessLocal;
+}
+
+}  // namespace dosc::baselines

@@ -1,0 +1,47 @@
+// GCASP baseline: the fully distributed hand-written heuristic of the
+// authors' prior work ("Every node for itself: Fully distributed service
+// coordination", CNSM 2020), re-implemented from its description in this
+// paper: like the distributed DRL agents it observes and controls flows
+// purely locally; it favours processing flows along the shortest path
+// towards the egress but dynamically reroutes around bottlenecks, searching
+// the neighbourhood for compute and link capacity.
+//
+// Per decision at node v:
+//   1. If the flow still needs processing and v has capacity, process here.
+//   2. Otherwise rank real neighbours by shortest-path delay to the egress
+//      via that neighbour, skipping saturated links, the neighbour the flow
+//      just came from (no ping-pong), and neighbours that cannot meet the
+//      deadline; prefer neighbours that could actually process the flow
+//      (capacity, then an already-placed instance as tie-break).
+//   3. If nothing is feasible, fall back to the shortest-path next hop.
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/coordinator.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace dosc::baselines {
+
+class GcaspCoordinator final : public sim::Coordinator {
+ public:
+  int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
+  void on_episode_start(const sim::Simulator& sim) override;
+
+  const util::RunningStats& decision_time_us() const noexcept { return decision_time_us_; }
+  void enable_timing(bool on) noexcept { timing_ = on; }
+
+ private:
+  int choose_forward(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node,
+                     bool needs_processing);
+
+  /// Last node each flow was at, to avoid immediate back-forwarding. Purely
+  /// local knowledge: in a real deployment this is a tag on the flow
+  /// (cf. NSH metadata), not shared state.
+  std::unordered_map<sim::FlowId, net::NodeId> previous_node_;
+  bool timing_ = false;
+  util::RunningStats decision_time_us_;
+};
+
+}  // namespace dosc::baselines

@@ -1,0 +1,36 @@
+#include "baselines/shortest_path.hpp"
+
+#include "util/timer.hpp"
+
+namespace dosc::baselines {
+
+int neighbor_action(const net::Network& network, net::NodeId node, net::NodeId target) {
+  const auto& neighbors = network.neighbors(node);
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    if (neighbors[i].node == target) return static_cast<int>(i + 1);
+  }
+  return -1;
+}
+
+int ShortestPathCoordinator::decide(const sim::Simulator& sim, const sim::Flow& flow,
+                                    net::NodeId node) {
+  util::Timer timer;
+  int action;
+  if (sim.fully_processed(flow)) {
+    // Route straight to the egress.
+    const net::NodeId hop = sim.shortest_paths().next_hop(node, flow.egress);
+    action = neighbor_action(sim.network(), node, hop);
+  } else if (sim.node_free(node) >= sim.component_demand(flow) || node == flow.egress) {
+    // Process here if there is room; at the egress there is no "further
+    // along the path", so processing is forced (and may overload).
+    action = sim::kActionProcessLocal;
+  } else {
+    const net::NodeId hop = sim.shortest_paths().next_hop(node, flow.egress);
+    action = neighbor_action(sim.network(), node, hop);
+  }
+  if (action < 0) action = sim::kActionProcessLocal;  // disconnected fallback
+  if (timing_) decision_time_us_.add(timer.elapsed_micros());
+  return action;
+}
+
+}  // namespace dosc::baselines

@@ -1,0 +1,31 @@
+// "SP" baseline (Sec. V-A3): a simple greedy heuristic that tries to
+// process every flow along the shortest path from its ingress to its
+// egress. At each node on the path it processes the requested component
+// locally whenever the node still has capacity; otherwise it pushes the
+// flow one hop further along the shortest path. It never deviates from the
+// path, so it collapses as soon as the path's nodes or links saturate —
+// the failure mode the paper demonstrates with co-located ingress nodes.
+#pragma once
+
+#include "sim/coordinator.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace dosc::baselines {
+
+class ShortestPathCoordinator final : public sim::Coordinator {
+ public:
+  int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
+
+  const util::RunningStats& decision_time_us() const noexcept { return decision_time_us_; }
+  void enable_timing(bool on) noexcept { timing_ = on; }
+
+ private:
+  bool timing_ = false;
+  util::RunningStats decision_time_us_;
+};
+
+/// Index (1-based action) of `target` in node's neighbour list, or -1.
+int neighbor_action(const net::Network& network, net::NodeId node, net::NodeId target);
+
+}  // namespace dosc::baselines

@@ -1,0 +1,91 @@
+#include "core/drl_env.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace dosc::core {
+
+RewardShaper::RewardShaper(const RewardConfig& config, double network_diameter)
+    : config_(config), diameter_(network_diameter) {
+  if (diameter_ <= 0.0) diameter_ = 1.0;  // degenerate single-link networks
+}
+
+TrainingEnv::TrainingEnv(const rl::ActorCritic& policy, rl::TrajectoryBuffer& buffer,
+                         const RewardConfig& reward, std::size_t max_degree, util::Rng rng,
+                         ObservationMask mask)
+    : policy_(policy),
+      buffer_(buffer),
+      reward_config_(reward),
+      obs_(max_degree, mask),
+      rng_(rng) {}
+
+void TrainingEnv::on_episode_start(const sim::Simulator& sim) {
+  sim_ = &sim;
+  shaper_ = std::make_unique<RewardShaper>(reward_config_, sim.shortest_paths().diameter());
+  episode_reward_ = 0.0;
+}
+
+int TrainingEnv::decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) {
+  const std::vector<double>& obs = obs_.build(sim, flow, node);
+  const int action = policy_.sample_action(obs, rng_);
+  buffer_.record_decision(flow.id, obs, action);
+  return action;
+}
+
+void TrainingEnv::on_completed(const sim::Flow& flow, double /*time*/) {
+  const double r = shaper_->on_completed();
+  buffer_.record_reward(flow.id, r);
+  buffer_.finish(flow.id);
+  episode_reward_ += r;
+}
+
+void TrainingEnv::on_dropped(const sim::Flow& flow, sim::DropReason /*reason*/,
+                             double /*time*/) {
+  const double r = shaper_->on_dropped();
+  buffer_.record_reward(flow.id, r);
+  buffer_.finish(flow.id);
+  episode_reward_ += r;
+}
+
+void TrainingEnv::on_component_processed(const sim::Flow& flow, net::NodeId /*node*/,
+                                         double /*time*/) {
+  const double r = shaper_->on_component_processed(sim_->service_of(flow).length());
+  buffer_.record_reward(flow.id, r);
+  episode_reward_ += r;
+}
+
+void TrainingEnv::on_forwarded(const sim::Flow& flow, net::NodeId /*from*/, net::LinkId link,
+                               double /*time*/) {
+  const double r = shaper_->on_forwarded(sim_->network().link(link).delay);
+  buffer_.record_reward(flow.id, r);
+  episode_reward_ += r;
+}
+
+void TrainingEnv::on_parked(const sim::Flow& flow, net::NodeId /*node*/, double /*time*/) {
+  const double r = shaper_->on_parked();
+  buffer_.record_reward(flow.id, r);
+  episode_reward_ += r;
+}
+
+DistributedDrlCoordinator::DistributedDrlCoordinator(const rl::ActorCritic& policy,
+                                                     std::size_t max_degree, bool stochastic,
+                                                     util::Rng rng, ObservationMask mask)
+    : policy_(policy), obs_(max_degree, mask), stochastic_(stochastic), rng_(rng) {
+  if (policy.config().obs_dim != observation_dim(max_degree)) {
+    throw std::invalid_argument(
+        "DistributedDrlCoordinator: policy observation size does not match network degree");
+  }
+}
+
+int DistributedDrlCoordinator::decide(const sim::Simulator& sim, const sim::Flow& flow,
+                                      net::NodeId node) {
+  util::Timer timer;
+  const std::vector<double>& obs = obs_.build(sim, flow, node);
+  const int action =
+      stochastic_ ? policy_.sample_action(obs, rng_) : policy_.greedy_action(obs);
+  if (timing_) decision_time_us_.add(timer.elapsed_micros());
+  return action;
+}
+
+}  // namespace dosc::core

@@ -1,0 +1,109 @@
+// The DRL agents' coupling to the simulator: action semantics, shaped
+// reward (Sec. IV-B2/3), a training environment that collects per-flow
+// trajectories, and the fully distributed inference coordinator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/observation.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/rollout.hpp"
+#include "sim/coordinator.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace dosc::core {
+
+/// Reward function R of the POMDP (Sec. IV-B3). The large terminal
+/// rewards dominate; the auxiliary shaping terms only nudge exploration
+/// (+1/n_s per traversed instance, -d_l/D_G per link hop, -1/D_G for
+/// keeping a finished flow).
+struct RewardConfig {
+  double success = 10.0;
+  double drop = -10.0;
+  double instance_bonus_scale = 1.0;  ///< multiplies +1/n_s
+  double link_penalty_scale = 1.0;    ///< multiplies -d_l/D_G
+  double park_penalty_scale = 1.0;    ///< multiplies -1/D_G
+};
+
+/// Computes the shaped reward for each flow lifecycle event.
+class RewardShaper {
+ public:
+  RewardShaper(const RewardConfig& config, double network_diameter);
+
+  double on_completed() const noexcept { return config_.success; }
+  double on_dropped() const noexcept { return config_.drop; }
+  double on_component_processed(std::size_t chain_length) const noexcept {
+    return config_.instance_bonus_scale / static_cast<double>(std::max<std::size_t>(1, chain_length));
+  }
+  double on_forwarded(double link_delay) const noexcept {
+    return -config_.link_penalty_scale * link_delay / diameter_;
+  }
+  double on_parked() const noexcept { return -config_.park_penalty_scale / diameter_; }
+
+ private:
+  RewardConfig config_;
+  double diameter_;
+};
+
+/// Training-time environment adapter (Alg. 1, lines 4-9): samples actions
+/// from the policy being trained, records (observation, action) per flow,
+/// and credits shaped rewards to the flow's most recent decision. Implements
+/// both simulator callbacks; plug one instance into one Simulator episode.
+class TrainingEnv final : public sim::Coordinator, public sim::FlowObserver {
+ public:
+  TrainingEnv(const rl::ActorCritic& policy, rl::TrajectoryBuffer& buffer,
+              const RewardConfig& reward, std::size_t max_degree, util::Rng rng,
+              ObservationMask mask = {});
+
+  int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
+  void on_episode_start(const sim::Simulator& sim) override;
+
+  void on_completed(const sim::Flow& flow, double time) override;
+  void on_dropped(const sim::Flow& flow, sim::DropReason reason, double time) override;
+  void on_component_processed(const sim::Flow& flow, net::NodeId node, double time) override;
+  void on_forwarded(const sim::Flow& flow, net::NodeId from, net::LinkId link,
+                    double time) override;
+  void on_parked(const sim::Flow& flow, net::NodeId node, double time) override;
+
+  /// Sum of all rewards handed out this episode (training diagnostic).
+  double episode_reward() const noexcept { return episode_reward_; }
+
+ private:
+  const rl::ActorCritic& policy_;
+  rl::TrajectoryBuffer& buffer_;
+  RewardConfig reward_config_;
+  std::unique_ptr<RewardShaper> shaper_;  ///< built per episode (needs D_G)
+  ObservationBuilder obs_;
+  util::Rng rng_;
+  const sim::Simulator* sim_ = nullptr;
+  double episode_reward_ = 0.0;
+};
+
+/// Fully distributed online inference (Alg. 1, lines 13-19): a trained
+/// policy copied to every node, queried with purely local observations.
+/// Per-decision wall-clock time is recorded for the Fig. 9b measurement.
+class DistributedDrlCoordinator final : public sim::Coordinator {
+ public:
+  /// `stochastic` samples from the policy (as during training); the default
+  /// greedy mode takes the argmax action, the usual deployment choice.
+  DistributedDrlCoordinator(const rl::ActorCritic& policy, std::size_t max_degree,
+                            bool stochastic = false, util::Rng rng = util::Rng(0),
+                            ObservationMask mask = {});
+
+  int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
+
+  const util::RunningStats& decision_time_us() const noexcept { return decision_time_us_; }
+  void enable_timing(bool on) noexcept { timing_ = on; }
+
+ private:
+  const rl::ActorCritic& policy_;
+  ObservationBuilder obs_;
+  bool stochastic_;
+  util::Rng rng_;
+  bool timing_ = false;
+  util::RunningStats decision_time_us_;
+};
+
+}  // namespace dosc::core

@@ -1,0 +1,103 @@
+#include "core/observation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dosc::core {
+
+namespace {
+double clamp11(double x) noexcept { return std::clamp(x, -1.0, 1.0); }
+}  // namespace
+
+ObservationBuilder::ObservationBuilder(std::size_t max_degree, ObservationMask mask)
+    : max_degree_(max_degree), mask_(mask) {
+  if (max_degree_ == 0) throw std::invalid_argument("ObservationBuilder: degree 0");
+  buffer_.assign(dim(), 0.0);
+}
+
+const std::vector<double>& ObservationBuilder::build(const sim::Simulator& sim,
+                                                     const sim::Flow& flow, net::NodeId node) {
+  const net::Network& network = sim.network();
+  const auto& neighbors = network.neighbors(node);
+  if (neighbors.size() > max_degree_) {
+    throw std::invalid_argument("ObservationBuilder: node degree exceeds layout degree");
+  }
+  const double now = sim.time();
+  std::fill(buffer_.begin(), buffer_.end(), kDummy);
+  std::size_t k = 0;
+
+  // --- F_f: flow attributes ---
+  const sim::Service& service = sim.service_of(flow);
+  const double chain_len = static_cast<double>(std::max<std::size_t>(1, service.length()));
+  buffer_[k++] = std::min(1.0, static_cast<double>(flow.chain_pos) / chain_len);
+  const double remaining = std::max(0.0, flow.remaining_deadline(now));
+  buffer_[k++] = std::clamp(remaining / flow.deadline, 0.0, 1.0);
+
+  // --- R^L: free outgoing link capacity minus the flow's rate, normalised
+  // by the largest link capacity in the neighbourhood. >= 0 iff the link
+  // can still carry the flow. ---
+  const double max_link_cap = std::max(1e-12, network.max_neighbor_link_capacity(node));
+  for (std::size_t i = 0; i < max_degree_; ++i) {
+    if (i < neighbors.size()) {
+      buffer_[k] = clamp11((sim.link_free(neighbors[i].link) - flow.rate) / max_link_cap);
+    }
+    ++k;
+  }
+
+  // --- R^V: free compute at self and neighbours minus the requested
+  // component's demand, normalised by the global maximum node capacity so
+  // absolute headroom is comparable across the network. ---
+  const double demand = sim.component_demand(flow);  // 0 when fully processed
+  const double max_node_cap = std::max(1e-12, network.max_node_capacity());
+  buffer_[k++] = clamp11((sim.node_free(node) - demand) / max_node_cap);
+  for (std::size_t i = 0; i < max_degree_; ++i) {
+    if (i < neighbors.size()) {
+      buffer_[k] = clamp11((sim.node_free(neighbors[i].node) - demand) / max_node_cap);
+    }
+    ++k;
+  }
+
+  // --- D_{v,f}: shortest-path slack towards the egress via each
+  // neighbour, relative to the remaining deadline. < 0 means forwarding
+  // through that neighbour cannot meet the deadline any more. ---
+  const net::ShortestPaths& sp = sim.shortest_paths();
+  for (std::size_t i = 0; i < max_degree_; ++i) {
+    if (i < neighbors.size()) {
+      if (remaining <= 0.0) {
+        buffer_[k] = -1.0;
+      } else {
+        const double via = sp.delay_via(node, neighbors[i], flow.egress);
+        buffer_[k] = std::max(-1.0, (remaining - via) / remaining);
+      }
+    }
+    ++k;
+  }
+
+  // --- X_v: instance of the requested component available at self /
+  // neighbours; all zero once the flow is fully processed. ---
+  const bool done = sim.fully_processed(flow);
+  const sim::ComponentId comp = done ? 0 : sim.requested_component(flow);
+  buffer_[k++] = (!done && sim.instance_available(node, comp)) ? 1.0 : 0.0;
+  for (std::size_t i = 0; i < max_degree_; ++i) {
+    if (i < neighbors.size()) {
+      buffer_[k] = (!done && sim.instance_available(neighbors[i].node, comp)) ? 1.0 : 0.0;
+    }
+    ++k;
+  }
+
+  // Ablation masking: zero disabled blocks, keeping the layout fixed.
+  const std::size_t d = max_degree_;
+  const auto blank = [&](std::size_t begin, std::size_t count) {
+    std::fill(buffer_.begin() + static_cast<std::ptrdiff_t>(begin),
+              buffer_.begin() + static_cast<std::ptrdiff_t>(begin + count), 0.0);
+  };
+  if (!mask_.flow_attrs) blank(0, 2);
+  if (!mask_.link_util) blank(2, d);
+  if (!mask_.node_util) blank(2 + d, d + 1);
+  if (!mask_.delays) blank(3 + 2 * d, d);
+  if (!mask_.instances) blank(3 + 3 * d, d + 1);
+
+  return buffer_;
+}
+
+}  // namespace dosc::core

@@ -1,0 +1,69 @@
+// Observation adapter: the POMDP observation space of Sec. IV-B1.
+//
+// Each agent only sees local information about the incoming flow, its own
+// node, and its direct neighbours:
+//   O = < F_f, R^L_v, R^V_v, D_{v,f}, X_v >
+// All parts are normalised to [-1, 1] and padded with dummy neighbours
+// (value -1) up to the network degree Delta_G, so every agent in every
+// network of equal degree shares one observation layout — the property that
+// lets a single policy be trained centrally and deployed at every node.
+//
+// Layout (size 4 * Delta_G + 4):
+//   [0]                       p_hat: progress within the service chain
+//   [1]                       tau_hat: remaining deadline / deadline
+//   [2            .. 2+D)     R^L: free capacity of outgoing links - lambda
+//   [2+D          .. 3+2D)    R^V: free node capacity - r_c(lambda),
+//                             self first, then neighbours
+//   [3+2D         .. 3+3D)    D: deadline-relative shortest-path slack to
+//                             the egress via each neighbour
+//   [3+3D         .. 4+4D)    X: instance of c_f available, self first
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dosc::core {
+
+/// Observation vector length for a network with the given degree.
+constexpr std::size_t observation_dim(std::size_t max_degree) noexcept {
+  return 4 * max_degree + 4;
+}
+
+/// Value used for padded (non-existing) dummy neighbours.
+inline constexpr double kDummy = -1.0;
+
+/// Ablation switch: disabled parts are zeroed out (the layout and size stay
+/// fixed so the same network architecture is trained). Used by
+/// bench_ablation to quantify what each observation component contributes.
+struct ObservationMask {
+  bool flow_attrs = true;  ///< F_f
+  bool link_util = true;   ///< R^L
+  bool node_util = true;   ///< R^V
+  bool delays = true;      ///< D_{v,f}
+  bool instances = true;   ///< X_v
+};
+
+class ObservationBuilder {
+ public:
+  /// `max_degree` fixes the padded layout; it must be >= the degree of the
+  /// network the builder is used on (normally exactly Delta_G).
+  explicit ObservationBuilder(std::size_t max_degree, ObservationMask mask = {});
+
+  std::size_t dim() const noexcept { return observation_dim(max_degree_); }
+  std::size_t max_degree() const noexcept { return max_degree_; }
+
+  /// Build the observation of the agent at `node` for the arriving `flow`.
+  /// Reuses and returns an internal buffer; copy it if it must outlive the
+  /// next call (not thread-safe; use one builder per thread).
+  const std::vector<double>& build(const sim::Simulator& sim, const sim::Flow& flow,
+                                   net::NodeId node);
+
+ private:
+  std::size_t max_degree_;
+  ObservationMask mask_;
+  std::vector<double> buffer_;
+};
+
+}  // namespace dosc::core

@@ -1,0 +1,57 @@
+#include "core/policy_io.hpp"
+
+namespace dosc::core {
+
+util::Json to_json(const TrainedPolicy& policy) {
+  util::Json::Object o;
+  o["obs_dim"] = util::Json(policy.net_config.obs_dim);
+  o["num_actions"] = util::Json(policy.net_config.num_actions);
+  util::Json::Array hidden;
+  for (const std::size_t h : policy.net_config.hidden) hidden.emplace_back(h);
+  o["hidden"] = util::Json(std::move(hidden));
+  o["net_seed"] = util::Json(static_cast<double>(policy.net_config.seed));
+  o["max_degree"] = util::Json(policy.max_degree);
+  o["eval_success_ratio"] = util::Json(policy.eval_success_ratio);
+  o["eval_reward"] = util::Json(policy.eval_reward);
+  util::Json::Array params;
+  params.reserve(policy.parameters.size());
+  for (const double p : policy.parameters) params.emplace_back(p);
+  o["parameters"] = util::Json(std::move(params));
+  util::Json::Array seeds;
+  for (const double s : policy.per_seed_success) seeds.emplace_back(s);
+  o["per_seed_success"] = util::Json(std::move(seeds));
+  return util::Json(std::move(o));
+}
+
+TrainedPolicy policy_from_json(const util::Json& json) {
+  TrainedPolicy policy;
+  policy.net_config.obs_dim = static_cast<std::size_t>(json.at("obs_dim").as_int());
+  policy.net_config.num_actions = static_cast<std::size_t>(json.at("num_actions").as_int());
+  policy.net_config.hidden.clear();
+  for (const util::Json& h : json.at("hidden").as_array()) {
+    policy.net_config.hidden.push_back(static_cast<std::size_t>(h.as_int()));
+  }
+  policy.net_config.seed = static_cast<std::uint64_t>(json.number_or("net_seed", 0));
+  policy.max_degree = static_cast<std::size_t>(json.at("max_degree").as_int());
+  policy.eval_success_ratio = json.number_or("eval_success_ratio", 0.0);
+  policy.eval_reward = json.number_or("eval_reward", 0.0);
+  for (const util::Json& p : json.at("parameters").as_array()) {
+    policy.parameters.push_back(p.as_number());
+  }
+  if (json.contains("per_seed_success")) {
+    for (const util::Json& s : json.at("per_seed_success").as_array()) {
+      policy.per_seed_success.push_back(s.as_number());
+    }
+  }
+  return policy;
+}
+
+void save_policy(const TrainedPolicy& policy, const std::string& path) {
+  to_json(policy).save_file(path, /*indent=*/-1);
+}
+
+TrainedPolicy load_policy(const std::string& path) {
+  return policy_from_json(util::Json::load_file(path));
+}
+
+}  // namespace dosc::core

@@ -1,0 +1,19 @@
+// Persisting trained policies: train once offline, deploy the saved network
+// at every node later (the paper's offline-training / online-inference
+// split). JSON keeps the format inspectable and dependency-free.
+#pragma once
+
+#include <string>
+
+#include "core/trainer.hpp"
+#include "util/json.hpp"
+
+namespace dosc::core {
+
+util::Json to_json(const TrainedPolicy& policy);
+TrainedPolicy policy_from_json(const util::Json& json);
+
+void save_policy(const TrainedPolicy& policy, const std::string& path);
+TrainedPolicy load_policy(const std::string& path);
+
+}  // namespace dosc::core

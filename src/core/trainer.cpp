@@ -1,0 +1,244 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace dosc::core {
+
+TrainingConfig TrainingConfig::paper_scale() {
+  TrainingConfig config;
+  config.hidden = {256, 256};
+  config.num_seeds = 10;
+  config.parallel_envs = 4;
+  config.iterations = 300;
+  config.train_episode_time = 5000.0;
+  config.eval_episodes = 5;
+  config.eval_episode_time = 20000.0;
+  return config;
+}
+
+rl::ActorCritic TrainedPolicy::instantiate() const {
+  rl::ActorCritic net(net_config);
+  net.set_parameters(parameters);
+  return net;
+}
+
+sim::Scenario scenario_with_end_time(const sim::Scenario& scenario, double end_time) {
+  sim::ScenarioConfig config = scenario.config();
+  config.end_time = end_time;
+  return sim::Scenario(std::move(config), scenario.catalog(), net::Network(scenario.network()));
+}
+
+namespace {
+
+/// Observer that tallies the shaped reward of an episode driven by an
+/// arbitrary (e.g. greedy) coordinator — used for evaluation.
+class RewardTally final : public sim::FlowObserver {
+ public:
+  RewardTally(const RewardConfig& config, const sim::Simulator& sim)
+      : shaper_(config, sim.shortest_paths().diameter()), sim_(sim) {}
+
+  void on_completed(const sim::Flow&, double) override { total_ += shaper_.on_completed(); }
+  void on_dropped(const sim::Flow&, sim::DropReason, double) override {
+    total_ += shaper_.on_dropped();
+  }
+  void on_component_processed(const sim::Flow& flow, net::NodeId, double) override {
+    total_ += shaper_.on_component_processed(sim_.service_of(flow).length());
+  }
+  void on_forwarded(const sim::Flow&, net::NodeId, net::LinkId link, double) override {
+    total_ += shaper_.on_forwarded(sim_.network().link(link).delay);
+  }
+  void on_parked(const sim::Flow&, net::NodeId, double) override {
+    total_ += shaper_.on_parked();
+  }
+
+  double total() const noexcept { return total_; }
+
+ private:
+  RewardShaper shaper_;
+  const sim::Simulator& sim_;
+  double total_ = 0.0;
+};
+
+/// Deterministic per-episode seed, decorrelated across (seed, iter, env).
+std::uint64_t episode_seed(std::uint64_t base, std::size_t seed_index, std::size_t iteration,
+                           std::size_t env_index) {
+  std::uint64_t h = base;
+  h = h * 0x9E3779B97F4A7C15ULL + seed_index + 1;
+  h = h * 0xBF58476D1CE4E5B9ULL + iteration + 1;
+  h = h * 0x94D049BB133111EBULL + env_index + 1;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+EvalResult evaluate_policy(const sim::Scenario& scenario, const rl::ActorCritic& policy,
+                           const RewardConfig& reward, std::size_t episodes,
+                           double episode_time, std::uint64_t seed_base,
+                           ObservationMask mask) {
+  const sim::Scenario eval_scenario = scenario_with_end_time(scenario, episode_time);
+  EvalResult result;
+  util::RunningStats success;
+  util::RunningStats rewards;
+  util::RunningStats delays;
+  for (std::size_t e = 0; e < episodes; ++e) {
+    sim::Simulator sim(eval_scenario, seed_base + e);
+    DistributedDrlCoordinator coordinator(policy, scenario.network().max_degree(),
+                                          /*stochastic=*/false, util::Rng(0), mask);
+    RewardTally tally(reward, sim);
+    const sim::SimMetrics metrics = sim.run(coordinator, &tally);
+    success.add(metrics.success_ratio());
+    rewards.add(tally.total());
+    if (metrics.e2e_delay.count() > 0) delays.add(metrics.e2e_delay.mean());
+  }
+  result.success_ratio = success.mean();
+  result.mean_reward = rewards.mean();
+  result.mean_e2e_delay = delays.mean();
+  return result;
+}
+
+TrainedPolicy train_distributed_policy(const sim::Scenario& scenario,
+                                       const TrainingConfig& config,
+                                       const ProgressCallback& progress) {
+  if (config.parallel_envs == 0 || config.num_seeds == 0) {
+    throw std::invalid_argument("train_distributed_policy: seeds/envs must be > 0");
+  }
+  const std::size_t max_degree = scenario.network().max_degree();
+  const std::size_t obs_dim = observation_dim(max_degree);
+  const std::size_t num_actions = max_degree + 1;
+  const sim::Scenario train_scenario =
+      scenario_with_end_time(scenario, config.train_episode_time);
+
+  TrainedPolicy best;
+  best.max_degree = max_degree;
+  best.eval_success_ratio = -1.0;
+  double best_reward = -1e300;
+
+  for (std::size_t seed_index = 0; seed_index < config.num_seeds; ++seed_index) {
+    rl::ActorCriticConfig net_config;
+    net_config.obs_dim = obs_dim;
+    net_config.num_actions = num_actions;
+    net_config.hidden = config.hidden;
+    net_config.seed = config.seed_base + seed_index;
+    rl::ActorCritic net(net_config);
+    rl::Updater updater(config.updater);
+
+    for (std::size_t iteration = 0; iteration < config.iterations; ++iteration) {
+      // A3C-style: l workers roll out the *same* policy snapshot in
+      // parallel; their experience is merged into one synchronous update.
+      const std::vector<double> snapshot = net.get_parameters();
+      std::vector<rl::Batch> batches(config.parallel_envs);
+      std::vector<double> episode_rewards(config.parallel_envs, 0.0);
+      std::vector<std::exception_ptr> errors(config.parallel_envs);
+
+      auto worker = [&](std::size_t env_index) {
+        try {
+          rl::ActorCritic local(net_config);
+          local.set_parameters(snapshot);
+          rl::TrajectoryBuffer buffer(config.gamma);
+          const std::uint64_t es =
+              episode_seed(config.seed_base, seed_index, iteration, env_index);
+          TrainingEnv env(local, buffer, config.reward, max_degree, util::Rng(es * 31 + 7),
+                          config.observation_mask);
+          sim::Simulator sim(train_scenario, es);
+          sim.run(env, &env);
+          buffer.truncate_all();
+          batches[env_index] = buffer.drain(local, obs_dim);
+          episode_rewards[env_index] = env.episode_reward();
+        } catch (...) {
+          errors[env_index] = std::current_exception();
+        }
+      };
+
+      if (config.parallel_envs == 1) {
+        worker(0);
+      } else {
+        std::vector<std::thread> threads;
+        threads.reserve(config.parallel_envs);
+        for (std::size_t e = 0; e < config.parallel_envs; ++e) threads.emplace_back(worker, e);
+        for (std::thread& t : threads) t.join();
+      }
+      for (const std::exception_ptr& err : errors) {
+        if (err) std::rethrow_exception(err);
+      }
+
+      // Merge worker batches; cap the update size with a uniform subsample
+      // so one update's cost stays bounded regardless of episode length.
+      std::size_t total = 0;
+      for (const rl::Batch& b : batches) total += b.size();
+      const std::size_t keep = std::min(total, config.max_update_steps);
+      util::Rng sample_rng(episode_seed(config.seed_base, seed_index, iteration, 777));
+      // Pick the kept (batch, row) pairs first, then copy exactly once.
+      std::vector<std::pair<std::size_t, std::size_t>> picks;
+      picks.reserve(keep);
+      if (keep == total) {
+        for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+          for (std::size_t i = 0; i < batches[bi].size(); ++i) picks.emplace_back(bi, i);
+        }
+      } else {
+        // Reservoir sampling over the concatenated steps.
+        std::size_t seen = 0;
+        for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+          for (std::size_t i = 0; i < batches[bi].size(); ++i) {
+            if (picks.size() < keep) {
+              picks.emplace_back(bi, i);
+            } else {
+              const std::size_t j =
+                  static_cast<std::size_t>(sample_rng.uniform_int(0, static_cast<std::int64_t>(seen)));
+              if (j < keep) picks[j] = {bi, i};
+            }
+            ++seen;
+          }
+        }
+      }
+      rl::Batch merged;
+      merged.obs = nn::Matrix(picks.size(), obs_dim);
+      merged.actions.reserve(picks.size());
+      merged.returns.reserve(picks.size());
+      for (std::size_t row = 0; row < picks.size(); ++row) {
+        const auto [bi, i] = picks[row];
+        const rl::Batch& b = batches[bi];
+        std::copy(b.obs.data() + i * obs_dim, b.obs.data() + (i + 1) * obs_dim,
+                  merged.obs.data() + row * obs_dim);
+        merged.actions.push_back(b.actions[i]);
+        merged.returns.push_back(b.returns[i]);
+      }
+
+      const rl::UpdateStats stats = updater.update(net, merged);
+      if (progress) {
+        double mean_reward = 0.0;
+        for (const double r : episode_rewards) mean_reward += r;
+        mean_reward /= static_cast<double>(config.parallel_envs);
+        progress({seed_index, iteration, mean_reward, stats});
+      }
+    }
+
+    // Greedy evaluation; the best seed's network is deployed (Alg. 1 l.13).
+    const EvalResult eval =
+        evaluate_policy(scenario, net, config.reward, config.eval_episodes,
+                        config.eval_episode_time, /*seed_base=*/9000 + seed_index,
+                        config.observation_mask);
+    best.per_seed_success.push_back(eval.success_ratio);
+    if (config.verbose) {
+      util::Log(util::LogLevel::kInfo, "trainer")
+          << "seed " << seed_index << ": eval success " << eval.success_ratio << ", reward "
+          << eval.mean_reward;
+    }
+    const bool better = eval.success_ratio > best.eval_success_ratio ||
+                        (eval.success_ratio == best.eval_success_ratio &&
+                         eval.mean_reward > best_reward);
+    if (better) {
+      best.net_config = net_config;
+      best.parameters = net.get_parameters();
+      best.eval_success_ratio = eval.success_ratio;
+      best.eval_reward = eval.mean_reward;
+      best_reward = eval.mean_reward;
+    }
+  }
+  return best;
+}
+
+}  // namespace dosc::core

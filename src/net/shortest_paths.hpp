@@ -1,0 +1,53 @@
+// All-pairs shortest path delays over the substrate network.
+//
+// The observation component D_{v,f} (Sec. IV-B1d) needs the shortest path
+// delay from each neighbour v' of the current node to the flow's egress.
+// Assuming a fixed topology and link delays, these are precomputed once
+// (Dijkstra from every source) and looked up in O(1) at decision time, as
+// the paper prescribes. Also exposes next-hop tables used by the SP and
+// GCASP baselines, and the delay diameter D_G used for reward shaping.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace dosc::net {
+
+class ShortestPaths {
+ public:
+  explicit ShortestPaths(const Network& network);
+
+  /// Shortest path delay from u to v; +infinity if unreachable.
+  double delay(NodeId u, NodeId v) const { return dist_.at(index(u, v)); }
+
+  /// First hop on a shortest path from u towards v; kInvalidNode if u == v
+  /// or v unreachable. Ties are broken towards the lowest neighbour id,
+  /// deterministically.
+  NodeId next_hop(NodeId u, NodeId v) const { return next_hop_.at(index(u, v)); }
+
+  /// Full node sequence of the shortest path from u to v (inclusive).
+  /// Empty if unreachable.
+  std::vector<NodeId> path(NodeId u, NodeId v) const;
+
+  /// Shortest path delay from v via neighbour v' to egress:
+  /// d_{v,v',eg} = d_(v,v') + delay(v', eg). Used for observation D_{v,f}.
+  double delay_via(NodeId v, const Neighbor& via, NodeId egress) const;
+
+  /// Delay diameter D_G: the largest finite shortest-path delay between any
+  /// node pair. Normalises the per-link reward shaping penalty.
+  double diameter() const noexcept { return diameter_; }
+
+  std::size_t num_nodes() const noexcept { return n_; }
+
+ private:
+  std::size_t index(NodeId u, NodeId v) const { return u * n_ + v; }
+
+  const Network& network_;
+  std::size_t n_;
+  std::vector<double> dist_;
+  std::vector<NodeId> next_hop_;
+  double diameter_ = 0.0;
+};
+
+}  // namespace dosc::net

@@ -1,0 +1,18 @@
+// JSON (de)serialisation of networks, so users can bring their own
+// topologies (e.g., converted from Topology Zoo GraphML) without recompiling.
+#pragma once
+
+#include <string>
+
+#include "net/network.hpp"
+#include "util/json.hpp"
+
+namespace dosc::net {
+
+util::Json to_json(const Network& network);
+Network network_from_json(const util::Json& json);
+
+void save_network(const Network& network, const std::string& path);
+Network load_network(const std::string& path);
+
+}  // namespace dosc::net

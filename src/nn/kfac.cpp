@@ -1,0 +1,134 @@
+#include "nn/kfac.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dosc::nn {
+
+namespace {
+
+/// Layer input with the homogeneous bias coordinate appended: [batch, in+1].
+Matrix augment_input(const Matrix& input) {
+  Matrix a(input.rows(), input.cols() + 1);
+  for (std::size_t i = 0; i < input.rows(); ++i) {
+    for (std::size_t j = 0; j < input.cols(); ++j) a(i, j) = input(i, j);
+    a(i, input.cols()) = 1.0;
+  }
+  return a;
+}
+
+/// Stack weight and bias gradients into the combined [(in+1) x out] block
+/// matching the augmented-input convention.
+Matrix combined_grad(const DenseLayer& layer) {
+  Matrix g(layer.fan_in() + 1, layer.fan_out());
+  for (std::size_t i = 0; i < layer.fan_in(); ++i) {
+    for (std::size_t j = 0; j < layer.fan_out(); ++j) g(i, j) = layer.grad_weights(i, j);
+  }
+  for (std::size_t j = 0; j < layer.fan_out(); ++j) {
+    g(layer.fan_in(), j) = layer.grad_bias(0, j);
+  }
+  return g;
+}
+
+double trace(const Matrix& m) noexcept {
+  double t = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) t += m(i, i);
+  return t;
+}
+
+}  // namespace
+
+void Kfac::update_factors(Mlp& net) {
+  auto& layers = net.layers();
+  if (factors_.size() != layers.size()) factors_.resize(layers.size());
+
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const DenseLayer& layer = layers[li];
+    if (layer.input.empty() || layer.grad_preact.empty()) {
+      throw std::logic_error("Kfac::update_factors: no cached forward/backward pass");
+    }
+    const double batch = static_cast<double>(layer.input.rows());
+
+    Matrix aug = augment_input(layer.input);
+    Matrix a_batch = matmul_tn(aug, aug);
+    for (std::size_t i = 0; i < a_batch.size(); ++i) a_batch.data()[i] /= batch;
+
+    Matrix g_batch = matmul_tn(layer.grad_preact, layer.grad_preact);
+    // The Fisher uses per-sample gradient outer products scaled by the
+    // batch; grad_preact already carries the 1/batch loss scaling applied
+    // by the trainer, so rescale to per-sample magnitude.
+    for (std::size_t i = 0; i < g_batch.size(); ++i) {
+      g_batch.data()[i] *= batch * config_.fisher_coef;
+    }
+
+    LayerFactors& f = factors_[li];
+    if (!f.initialised) {
+      f.a = std::move(a_batch);
+      f.g = std::move(g_batch);
+      f.initialised = true;
+    } else {
+      ema_update(f.a, a_batch, config_.ema_decay);
+      ema_update(f.g, g_batch, config_.ema_decay);
+    }
+  }
+}
+
+void Kfac::step(Mlp& net) {
+  auto& layers = net.layers();
+  if (factors_.size() != layers.size()) {
+    throw std::logic_error("Kfac::step: call update_factors first");
+  }
+
+  // Per-layer natural gradient v_l = A⁻¹ Ḡ_l G⁻¹ with factored damping
+  // (pi-splitting, Martens & Grosse 2015).
+  std::vector<Matrix> nat_grads(layers.size());
+  double quadratic = 0.0;  // vᵀ F̂ v, accumulated across layers
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const LayerFactors& f = factors_[li];
+    if (!f.initialised) throw std::logic_error("Kfac::step: factors not initialised");
+    const Matrix grad = combined_grad(layers[li]);
+
+    const double tr_a = std::max(trace(f.a) / static_cast<double>(f.a.rows()), 1e-12);
+    const double tr_g = std::max(trace(f.g) / static_cast<double>(f.g.rows()), 1e-12);
+    const double pi = std::sqrt(tr_a / tr_g);
+    const double damp = std::sqrt(config_.damping);
+
+    Matrix half = cholesky_solve(f.a, grad, pi * damp);          // A⁻¹ Ḡ
+    Matrix natural = transpose(cholesky_solve(f.g, transpose(half), damp / pi));  // ... G⁻¹
+
+    // vᵀ F v ≈ tr(vᵀ A v G): cheap via the already-damped solves' inputs.
+    const Matrix av = matmul(f.a, natural);
+    const Matrix avg = matmul(av, f.g);
+    quadratic += dot(natural, avg);
+
+    nat_grads[li] = std::move(natural);
+  }
+
+  // Trust region: eta = min(lr, sqrt(2 * kl_clip / (vᵀ F v))), plus a
+  // Euclidean cap on the total step size.
+  double eta = learning_rate_;
+  if (quadratic > 0.0) {
+    eta = std::min(eta, std::sqrt(2.0 * config_.kl_clip / quadratic));
+  }
+  double v_norm_sq = 0.0;
+  for (const Matrix& v : nat_grads) v_norm_sq += dot(v, v);
+  const double v_norm = std::sqrt(v_norm_sq);
+  if (v_norm * eta > config_.step_norm_cap && v_norm > 0.0) {
+    eta = config_.step_norm_cap / v_norm;
+  }
+
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    DenseLayer& layer = layers[li];
+    const Matrix& v = nat_grads[li];
+    for (std::size_t i = 0; i < layer.fan_in(); ++i) {
+      for (std::size_t j = 0; j < layer.fan_out(); ++j) {
+        layer.weights(i, j) -= eta * v(i, j);
+      }
+    }
+    for (std::size_t j = 0; j < layer.fan_out(); ++j) {
+      layer.bias(0, j) -= eta * v(layer.fan_in(), j);
+    }
+  }
+}
+
+}  // namespace dosc::nn

@@ -1,0 +1,197 @@
+#include "nn/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dosc::nn {
+
+namespace {
+void check(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+}  // namespace
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::scaled_normal(std::size_t rows, std::size_t cols, double stddev,
+                             util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  check(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order: streams through b and c rows contiguously.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.data() + i * c.cols();
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data() + k * b.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  check(a.rows() == b.rows(), "matmul_tn: row counts differ");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.data() + k * a.cols();
+    const double* brow = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  check(a.cols() == b.cols(), "matmul_nt: column counts differ");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.data() + j * b.cols();
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      c(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+void add_scaled(Matrix& a, const Matrix& b, double scale) {
+  check(a.rows() == b.rows() && a.cols() == b.cols(), "add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += scale * b.data()[i];
+}
+
+void ema_update(Matrix& a, const Matrix& b, double decay) {
+  check(a.rows() == b.rows() && a.cols() == b.cols(), "ema_update: shape mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = a.data()[i] * decay + b.data()[i] * (1.0 - decay);
+  }
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  check(a.rows() == b.rows() && a.cols() == b.cols(), "hadamard: shape mismatch");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  return c;
+}
+
+void add_row_vector(Matrix& a, const Matrix& row_vec) {
+  check(row_vec.rows() == 1 && row_vec.cols() == a.cols(), "add_row_vector: shape mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) arow[j] += row_vec.data()[j];
+  }
+}
+
+Matrix column_sums(const Matrix& a) {
+  Matrix s(1, a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) s.data()[j] += arow[j];
+  }
+  return s;
+}
+
+double frobenius_norm(const Matrix& a) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a.data()[i] * a.data()[i];
+  return std::sqrt(sum);
+}
+
+double dot(const Matrix& a, const Matrix& b) noexcept {
+  double sum = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) sum += a.data()[i] * b.data()[i];
+  return sum;
+}
+
+namespace {
+
+/// In-place Cholesky factorisation of (m + damping I); returns false if a
+/// non-positive pivot is met.
+bool cholesky_factor(Matrix& m, double damping) {
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += damping;
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = m(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= m(j, k) * m(j, k);
+    if (diag <= 0.0) return false;
+    const double ljj = std::sqrt(diag);
+    m(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = m(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= m(i, k) * m(j, k);
+      m(i, j) = v / ljj;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Matrix cholesky_solve(const Matrix& m, const Matrix& b, double damping) {
+  if (m.rows() != m.cols()) throw std::invalid_argument("cholesky_solve: M not square");
+  if (m.rows() != b.rows()) throw std::invalid_argument("cholesky_solve: shape mismatch");
+  const std::size_t n = m.rows();
+
+  Matrix l;
+  double d = damping;
+  bool ok = false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    l = m;
+    if (cholesky_factor(l, d)) {
+      ok = true;
+      break;
+    }
+    d = (d == 0.0) ? 1e-8 : d * 10.0;
+  }
+  if (!ok) throw std::runtime_error("cholesky_solve: matrix not positive definite");
+
+  // Solve L y = b (forward), then L^T x = y (backward), column by column.
+  Matrix x = b;
+  for (std::size_t col = 0; col < b.cols(); ++col) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = x(i, col);
+      for (std::size_t k = 0; k < i; ++k) v -= l(i, k) * x(k, col);
+      x(i, col) = v / l(i, i);
+    }
+    for (std::size_t i = n; i-- > 0;) {
+      double v = x(i, col);
+      for (std::size_t k = i + 1; k < n; ++k) v -= l(k, i) * x(k, col);
+      x(i, col) = v / l(i, i);
+    }
+  }
+  return x;
+}
+
+}  // namespace dosc::nn

@@ -1,0 +1,83 @@
+// Dense row-major matrix with the linear algebra needed for MLP training:
+// GEMM variants, elementwise ops, and a damped Cholesky solver used by the
+// Kronecker-factored natural-gradient optimizer. Double precision
+// throughout — the networks are small (paper: 2x256 hidden units) and KFAC's
+// factor inversions benefit from the head-room.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dosc::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+  std::span<double> row(std::size_t r) noexcept { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(double value) noexcept { std::fill(data_.begin(), data_.end(), value); }
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  /// Xavier/Glorot-uniform initialisation: U[-sqrt(6/(in+out)), +...].
+  static Matrix xavier(std::size_t rows, std::size_t cols, util::Rng& rng);
+  /// Orthogonal-ish scaled normal init used for output heads (small gain).
+  static Matrix scaled_normal(std::size_t rows, std::size_t cols, double stddev,
+                              util::Rng& rng);
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T * B.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// C = A * B^T.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+Matrix transpose(const Matrix& a);
+
+/// a += scale * b (shapes must match).
+void add_scaled(Matrix& a, const Matrix& b, double scale = 1.0);
+/// a = a * decay + b * (1 - decay) (EMA update for KFAC factors).
+void ema_update(Matrix& a, const Matrix& b, double decay);
+/// Elementwise product into a new matrix.
+Matrix hadamard(const Matrix& a, const Matrix& b);
+/// Add a row vector (1 x cols) to every row.
+void add_row_vector(Matrix& a, const Matrix& row_vec);
+/// Sum over rows -> 1 x cols.
+Matrix column_sums(const Matrix& a);
+double frobenius_norm(const Matrix& a) noexcept;
+double dot(const Matrix& a, const Matrix& b) noexcept;
+
+/// Solve (M + damping * I) X = B for SPD M via Cholesky. M is copied; the
+/// damping is increased automatically (up to a limit) if factorisation
+/// fails. Throws std::runtime_error if M cannot be factorised at all.
+Matrix cholesky_solve(const Matrix& m, const Matrix& b, double damping);
+
+}  // namespace dosc::nn

@@ -1,0 +1,189 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dosc::nn {
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, Activation hidden, Activation output,
+         std::uint64_t seed, double head_stddev) {
+  if (layer_sizes.size() < 2) throw std::invalid_argument("Mlp: need at least in+out sizes");
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    const bool is_output = (i + 2 == layer_sizes.size());
+    DenseLayer layer;
+    if (is_output) {
+      layer.weights = Matrix::scaled_normal(layer_sizes[i], layer_sizes[i + 1], head_stddev, rng);
+      layer.activation = output;
+    } else {
+      layer.weights = Matrix::xavier(layer_sizes[i], layer_sizes[i + 1], rng);
+      layer.activation = hidden;
+    }
+    layer.bias = Matrix(1, layer_sizes[i + 1]);
+    layer.grad_weights = Matrix(layer_sizes[i], layer_sizes[i + 1]);
+    layer.grad_bias = Matrix(1, layer_sizes[i + 1]);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void Mlp::apply_activation(Matrix& m, Activation act) noexcept {
+  switch (act) {
+    case Activation::kLinear: return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = std::tanh(m.data()[i]);
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = std::max(0.0, m.data()[i]);
+      return;
+  }
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  Matrix h = x;
+  for (DenseLayer& layer : layers_) {
+    layer.input = h;
+    h = matmul(h, layer.weights);
+    add_row_vector(h, layer.bias);
+    apply_activation(h, layer.activation);
+    layer.output = h;
+  }
+  return h;
+}
+
+Matrix Mlp::predict(const Matrix& x) const {
+  Matrix h = x;
+  for (const DenseLayer& layer : layers_) {
+    h = matmul(h, layer.weights);
+    add_row_vector(h, layer.bias);
+    apply_activation(h, layer.activation);
+  }
+  return h;
+}
+
+void Mlp::predict_row(std::span<const double> input, std::vector<double>& out,
+                      Scratch& scratch) const {
+  if (input.size() != input_size()) throw std::invalid_argument("predict_row: input size");
+  scratch.a.assign(input.begin(), input.end());
+  for (const DenseLayer& layer : layers_) {
+    const std::size_t in = layer.fan_in();
+    const std::size_t n_out = layer.fan_out();
+    scratch.b.assign(layer.bias.data(), layer.bias.data() + n_out);
+    const double* w = layer.weights.data();
+    for (std::size_t i = 0; i < in; ++i) {
+      const double x = scratch.a[i];
+      if (x == 0.0) continue;
+      const double* wrow = w + i * n_out;
+      for (std::size_t j = 0; j < n_out; ++j) scratch.b[j] += x * wrow[j];
+    }
+    switch (layer.activation) {
+      case Activation::kLinear: break;
+      case Activation::kTanh:
+        for (double& v : scratch.b) v = std::tanh(v);
+        break;
+      case Activation::kRelu:
+        for (double& v : scratch.b) v = std::max(0.0, v);
+        break;
+    }
+    scratch.a.swap(scratch.b);
+  }
+  out = scratch.a;
+}
+
+Matrix Mlp::backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    DenseLayer& layer = layers_[li];
+    if (layer.input.empty()) throw std::logic_error("Mlp::backward without forward");
+
+    // d(loss)/d(pre-activation).
+    switch (layer.activation) {
+      case Activation::kLinear: break;
+      case Activation::kTanh:
+        for (std::size_t i = 0; i < grad.size(); ++i) {
+          const double y = layer.output.data()[i];
+          grad.data()[i] *= (1.0 - y * y);
+        }
+        break;
+      case Activation::kRelu:
+        for (std::size_t i = 0; i < grad.size(); ++i) {
+          if (layer.output.data()[i] <= 0.0) grad.data()[i] = 0.0;
+        }
+        break;
+    }
+    layer.grad_preact = grad;
+
+    add_scaled(layer.grad_weights, matmul_tn(layer.input, grad));
+    add_scaled(layer.grad_bias, column_sums(grad));
+    if (li > 0) grad = matmul_nt(grad, layer.weights);
+  }
+  return grad;
+}
+
+void Mlp::zero_grad() {
+  for (DenseLayer& layer : layers_) {
+    layer.grad_weights.fill(0.0);
+    layer.grad_bias.fill(0.0);
+  }
+}
+
+double Mlp::grad_norm() const noexcept {
+  double sum = 0.0;
+  for (const DenseLayer& layer : layers_) {
+    for (std::size_t i = 0; i < layer.grad_weights.size(); ++i) {
+      sum += layer.grad_weights.data()[i] * layer.grad_weights.data()[i];
+    }
+    for (std::size_t i = 0; i < layer.grad_bias.size(); ++i) {
+      sum += layer.grad_bias.data()[i] * layer.grad_bias.data()[i];
+    }
+  }
+  return std::sqrt(sum);
+}
+
+void Mlp::clip_grad_norm(double max_norm) {
+  const double norm = grad_norm();
+  if (norm > max_norm && norm > 0.0) scale_grad(max_norm / norm);
+}
+
+void Mlp::scale_grad(double factor) {
+  for (DenseLayer& layer : layers_) {
+    for (std::size_t i = 0; i < layer.grad_weights.size(); ++i) {
+      layer.grad_weights.data()[i] *= factor;
+    }
+    for (std::size_t i = 0; i < layer.grad_bias.size(); ++i) {
+      layer.grad_bias.data()[i] *= factor;
+    }
+  }
+}
+
+std::size_t Mlp::num_parameters() const noexcept {
+  std::size_t n = 0;
+  for (const DenseLayer& layer : layers_) n += layer.weights.size() + layer.bias.size();
+  return n;
+}
+
+std::vector<double> Mlp::get_parameters() const {
+  std::vector<double> flat;
+  flat.reserve(num_parameters());
+  for (const DenseLayer& layer : layers_) {
+    flat.insert(flat.end(), layer.weights.data(), layer.weights.data() + layer.weights.size());
+    flat.insert(flat.end(), layer.bias.data(), layer.bias.data() + layer.bias.size());
+  }
+  return flat;
+}
+
+void Mlp::set_parameters(const std::vector<double>& flat) {
+  if (flat.size() != num_parameters()) {
+    throw std::invalid_argument("Mlp::set_parameters: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (DenseLayer& layer : layers_) {
+    std::copy(flat.begin() + offset, flat.begin() + offset + layer.weights.size(),
+              layer.weights.data());
+    offset += layer.weights.size();
+    std::copy(flat.begin() + offset, flat.begin() + offset + layer.bias.size(),
+              layer.bias.data());
+    offset += layer.bias.size();
+  }
+}
+
+}  // namespace dosc::nn

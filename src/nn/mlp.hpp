@@ -1,0 +1,91 @@
+// Multi-layer perceptron with manual backprop.
+//
+// The paper's actor and critic are each an MLP with two hidden layers of
+// 256 tanh units (Sec. V-A2). This class supports arbitrary layer sizes,
+// caches the per-layer statistics KFAC needs (layer inputs and
+// pre-activation gradients), and exposes flat parameter get/set for
+// best-agent selection and for copying the trained policy to every node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace dosc::nn {
+
+enum class Activation { kLinear, kTanh, kRelu };
+
+/// One fully-connected layer. Public data: the trainer and the KFAC
+/// optimizer both need direct access to weights, gradients, and caches.
+struct DenseLayer {
+  Matrix weights;  ///< [in, out]
+  Matrix bias;     ///< [1, out]
+  Activation activation = Activation::kTanh;
+
+  Matrix grad_weights;  ///< accumulated d(loss)/d(weights)
+  Matrix grad_bias;
+
+  // Caches from the last forward()/backward() pass (training mode only).
+  Matrix input;        ///< [batch, in]   — KFAC factor A uses this
+  Matrix output;       ///< [batch, out]  — post-activation
+  Matrix grad_preact;  ///< [batch, out]  — KFAC factor G uses this
+
+  std::size_t fan_in() const noexcept { return weights.rows(); }
+  std::size_t fan_out() const noexcept { return weights.cols(); }
+};
+
+class Mlp {
+ public:
+  /// layer_sizes = {in, h1, ..., out}. Hidden layers use `hidden`; the last
+  /// layer uses `output` activation. The output layer's weights are
+  /// initialised with a small stddev (common for policy/value heads).
+  Mlp(std::vector<std::size_t> layer_sizes, Activation hidden, Activation output,
+      std::uint64_t seed, double head_stddev = 0.01);
+
+  /// Training-mode forward: caches per-layer inputs/outputs for backward().
+  Matrix forward(const Matrix& x);
+  /// Inference-mode forward: no caches touched; safe to call concurrently
+  /// from multiple threads on a shared const Mlp.
+  Matrix predict(const Matrix& x) const;
+
+  /// Allocation-free single-observation forward for the per-decision hot
+  /// path (a coordination decision is one of these; Fig. 9b measures it).
+  /// `out` is resized to the output size; `scratch` is caller-provided
+  /// working memory reused across calls.
+  struct Scratch {
+    std::vector<double> a;
+    std::vector<double> b;
+  };
+  void predict_row(std::span<const double> input, std::vector<double>& out,
+                   Scratch& scratch) const;
+
+  /// Backprop d(loss)/d(output) through the cached forward pass,
+  /// accumulating parameter gradients. Returns d(loss)/d(input).
+  Matrix backward(const Matrix& grad_output);
+
+  void zero_grad();
+  /// Global L2 norm of all parameter gradients.
+  double grad_norm() const noexcept;
+  /// Scale all gradients so the global norm is at most `max_norm`.
+  void clip_grad_norm(double max_norm);
+  void scale_grad(double factor);
+
+  std::vector<DenseLayer>& layers() noexcept { return layers_; }
+  const std::vector<DenseLayer>& layers() const noexcept { return layers_; }
+  std::size_t input_size() const noexcept { return layers_.front().fan_in(); }
+  std::size_t output_size() const noexcept { return layers_.back().fan_out(); }
+  std::size_t num_parameters() const noexcept;
+
+  std::vector<double> get_parameters() const;
+  void set_parameters(const std::vector<double>& flat);
+
+ private:
+  static void apply_activation(Matrix& m, Activation act) noexcept;
+
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace dosc::nn

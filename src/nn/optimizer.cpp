@@ -1,0 +1,75 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace dosc::nn {
+
+namespace {
+
+/// Visit each parameter tensor of the net together with its gradient.
+template <typename Fn>
+void for_each_tensor(Mlp& net, Fn&& fn) {
+  std::size_t slot = 0;
+  for (DenseLayer& layer : net.layers()) {
+    fn(slot++, layer.weights, layer.grad_weights);
+    fn(slot++, layer.bias, layer.grad_bias);
+  }
+}
+
+void ensure_state(std::vector<Matrix>& state, std::size_t slot, const Matrix& like) {
+  if (state.size() <= slot) state.resize(slot + 1);
+  if (state[slot].rows() != like.rows() || state[slot].cols() != like.cols()) {
+    state[slot] = Matrix(like.rows(), like.cols());
+  }
+}
+
+}  // namespace
+
+void Sgd::step(Mlp& net) {
+  for_each_tensor(net, [&](std::size_t slot, Matrix& param, const Matrix& grad) {
+    if (momentum_ == 0.0) {
+      add_scaled(param, grad, -learning_rate_);
+      return;
+    }
+    ensure_state(velocity_, slot, param);
+    Matrix& v = velocity_[slot];
+    for (std::size_t i = 0; i < param.size(); ++i) {
+      v.data()[i] = momentum_ * v.data()[i] + grad.data()[i];
+      param.data()[i] -= learning_rate_ * v.data()[i];
+    }
+  });
+}
+
+void RmsProp::step(Mlp& net) {
+  for_each_tensor(net, [&](std::size_t slot, Matrix& param, const Matrix& grad) {
+    ensure_state(mean_square_, slot, param);
+    Matrix& ms = mean_square_[slot];
+    for (std::size_t i = 0; i < param.size(); ++i) {
+      const double g = grad.data()[i];
+      ms.data()[i] = decay_ * ms.data()[i] + (1.0 - decay_) * g * g;
+      param.data()[i] -= learning_rate_ * g / (std::sqrt(ms.data()[i]) + epsilon_);
+    }
+  });
+}
+
+void Adam::step(Mlp& net) {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for_each_tensor(net, [&](std::size_t slot, Matrix& param, const Matrix& grad) {
+    ensure_state(m_, slot, param);
+    ensure_state(v_, slot, param);
+    Matrix& m = m_[slot];
+    Matrix& v = v_[slot];
+    for (std::size_t i = 0; i < param.size(); ++i) {
+      const double g = grad.data()[i];
+      m.data()[i] = beta1_ * m.data()[i] + (1.0 - beta1_) * g;
+      v.data()[i] = beta2_ * v.data()[i] + (1.0 - beta2_) * g * g;
+      const double mhat = m.data()[i] / bias1;
+      const double vhat = v.data()[i] / bias2;
+      param.data()[i] -= learning_rate_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+  });
+}
+
+}  // namespace dosc::nn

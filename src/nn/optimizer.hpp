@@ -1,0 +1,69 @@
+// First-order optimizers over an Mlp's accumulated gradients.
+//
+// RMSprop is the paper's default first-order choice (Sec. V-A2); SGD and
+// Adam are provided for ablations. The natural-gradient (ACKTR) optimizer
+// lives in kfac.hpp and shares this interface so trainers can switch.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace dosc::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply the gradients currently accumulated in `net` (does not zero them).
+  virtual void step(Mlp& net) = 0;
+
+  void set_learning_rate(double lr) noexcept { learning_rate_ = lr; }
+  double learning_rate() const noexcept { return learning_rate_; }
+
+ protected:
+  explicit Optimizer(double learning_rate) : learning_rate_(learning_rate) {}
+  double learning_rate_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0)
+      : Optimizer(learning_rate), momentum_(momentum) {}
+  void step(Mlp& net) override;
+
+ private:
+  double momentum_;
+  std::vector<Matrix> velocity_;  ///< one entry per (weights, bias) tensor
+};
+
+class RmsProp final : public Optimizer {
+ public:
+  explicit RmsProp(double learning_rate, double decay = 0.99, double epsilon = 1e-5)
+      : Optimizer(learning_rate), decay_(decay), epsilon_(epsilon) {}
+  void step(Mlp& net) override;
+
+ private:
+  double decay_;
+  double epsilon_;
+  std::vector<Matrix> mean_square_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8)
+      : Optimizer(learning_rate), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+  void step(Mlp& net) override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::size_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace dosc::nn

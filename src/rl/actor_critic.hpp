@@ -1,0 +1,64 @@
+// Actor-critic network pair (Sec. IV-C2).
+//
+// Two separate MLPs, as in the paper: the actor maps an observation to a
+// categorical distribution over the Delta_G + 1 actions; the critic
+// estimates the observation's long-term value. Inference (predict /
+// sample_action / greedy_action) is const and thread-safe, so one trained
+// ActorCritic can be shared read-only by the DRL agents deployed at every
+// node — exactly the paper's "copy of the same neural network" deployment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace dosc::rl {
+
+struct ActorCriticConfig {
+  std::size_t obs_dim = 0;
+  std::size_t num_actions = 0;
+  std::vector<std::size_t> hidden{256, 256};  ///< paper: 2x256 tanh units
+  std::uint64_t seed = 0;
+};
+
+/// Numerically stable softmax of one logit row.
+std::vector<double> softmax(std::span<const double> logits);
+/// log(softmax(logits))[index], computed stably.
+double log_softmax_at(std::span<const double> logits, std::size_t index);
+/// Entropy of softmax(logits) in nats.
+double softmax_entropy(std::span<const double> logits);
+
+class ActorCritic {
+ public:
+  explicit ActorCritic(const ActorCriticConfig& config);
+
+  const ActorCriticConfig& config() const noexcept { return config_; }
+
+  // --- inference (const, thread-safe) ---
+  std::vector<double> action_probs(std::span<const double> obs) const;
+  int sample_action(std::span<const double> obs, util::Rng& rng) const;
+  int greedy_action(std::span<const double> obs) const;
+  double value(std::span<const double> obs) const;
+
+  // --- training access ---
+  nn::Mlp& actor() noexcept { return actor_; }
+  nn::Mlp& critic() noexcept { return critic_; }
+  const nn::Mlp& actor() const noexcept { return actor_; }
+  const nn::Mlp& critic() const noexcept { return critic_; }
+
+  /// Flat parameters of actor followed by critic (snapshot / deploy).
+  std::vector<double> get_parameters() const;
+  void set_parameters(const std::vector<double>& flat);
+
+ private:
+  nn::Matrix to_row(std::span<const double> obs) const;
+
+  ActorCriticConfig config_;
+  nn::Mlp actor_;
+  nn::Mlp critic_;
+};
+
+}  // namespace dosc::rl

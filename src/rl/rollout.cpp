@@ -1,0 +1,76 @@
+#include "rl/rollout.hpp"
+
+#include <stdexcept>
+
+namespace dosc::rl {
+
+void TrajectoryBuffer::record_decision(std::uint64_t key, std::vector<double> obs, int action) {
+  Trajectory& trajectory = open_[key];
+  trajectory.steps.push_back({std::move(obs), action, 0.0});
+}
+
+void TrajectoryBuffer::record_reward(std::uint64_t key, double reward) {
+  const auto it = open_.find(key);
+  if (it == open_.end() || it->second.steps.empty()) return;
+  it->second.steps.back().reward_after += reward;
+}
+
+void TrajectoryBuffer::finish(std::uint64_t key) {
+  const auto it = open_.find(key);
+  if (it == open_.end()) return;
+  if (!it->second.steps.empty()) {
+    it->second.terminated = true;
+    completed_steps_ += it->second.steps.size();
+    finished_.push_back(std::move(it->second));
+  }
+  open_.erase(it);
+}
+
+void TrajectoryBuffer::truncate_all() {
+  for (auto& [key, trajectory] : open_) {
+    if (trajectory.steps.empty()) continue;
+    trajectory.terminated = false;
+    completed_steps_ += trajectory.steps.size();
+    finished_.push_back(std::move(trajectory));
+  }
+  open_.clear();
+}
+
+Batch TrajectoryBuffer::drain(const ActorCritic& net, std::size_t obs_dim) {
+  Batch batch;
+  std::size_t total = 0;
+  for (const Trajectory& t : finished_) total += t.steps.size();
+  batch.obs = nn::Matrix(total, obs_dim);
+  batch.actions.reserve(total);
+  batch.returns.reserve(total);
+
+  std::size_t row = 0;
+  for (const Trajectory& trajectory : finished_) {
+    // Backward pass: terminal trajectories start from 0, truncated ones
+    // bootstrap from the critic at the final observation.
+    double ret = 0.0;
+    if (!trajectory.terminated) {
+      ret = net.value(trajectory.steps.back().obs);
+    }
+    std::vector<double> returns(trajectory.steps.size());
+    for (std::size_t i = trajectory.steps.size(); i-- > 0;) {
+      ret = trajectory.steps[i].reward_after + gamma_ * ret;
+      returns[i] = ret;
+    }
+    for (std::size_t i = 0; i < trajectory.steps.size(); ++i) {
+      const Step& step = trajectory.steps[i];
+      if (step.obs.size() != obs_dim) {
+        throw std::invalid_argument("TrajectoryBuffer::drain: obs size mismatch");
+      }
+      std::copy(step.obs.begin(), step.obs.end(), batch.obs.data() + row * obs_dim);
+      batch.actions.push_back(step.action);
+      batch.returns.push_back(returns[i]);
+      ++row;
+    }
+  }
+  finished_.clear();
+  completed_steps_ = 0;
+  return batch;
+}
+
+}  // namespace dosc::rl

@@ -1,0 +1,76 @@
+// Experience collection for per-flow decision trajectories.
+//
+// In this problem an "episode" from the MDP's perspective is the lifetime
+// of one flow: each decision some agent makes for the flow is one step, the
+// shaped rewards accrue between decisions, and the trajectory terminates
+// when the flow completes or is dropped (Alg. 1 collects exactly these
+// (o_{t-1}, a_{t-1}, r_t, o_t) tuples). The TrajectoryBuffer accumulates
+// open trajectories keyed by flow, closes them on terminal events, and
+// converts finished trajectories into a flat training batch of
+// (observation, action, discounted return) triples. Truncated trajectories
+// (episode horizon reached before the flow terminated) bootstrap from the
+// critic's value at the last observation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rl/actor_critic.hpp"
+
+namespace dosc::rl {
+
+struct Step {
+  std::vector<double> obs;
+  int action = 0;
+  double reward_after = 0.0;  ///< shaped reward accrued after this action
+};
+
+struct Trajectory {
+  std::vector<Step> steps;
+  bool terminated = false;  ///< true: flow completed/dropped; false: truncated
+};
+
+/// Flat training batch.
+struct Batch {
+  nn::Matrix obs;                ///< [N x obs_dim]
+  std::vector<int> actions;      ///< [N]
+  std::vector<double> returns;   ///< [N] discounted returns (bootstrapped)
+  std::size_t size() const noexcept { return actions.size(); }
+};
+
+class TrajectoryBuffer {
+ public:
+  explicit TrajectoryBuffer(double gamma) : gamma_(gamma) {}
+
+  /// Record a decision for flow `key`: the observation seen and the action
+  /// taken. Any reward reported later for this flow credits this step
+  /// until the next decision supersedes it.
+  void record_decision(std::uint64_t key, std::vector<double> obs, int action);
+
+  /// Accrue shaped reward onto the flow's most recent decision. Ignored if
+  /// the flow has no open trajectory (e.g., reward before any decision).
+  void record_reward(std::uint64_t key, double reward);
+
+  /// Close the flow's trajectory as terminated (completed or dropped).
+  void finish(std::uint64_t key);
+
+  /// Close every open trajectory as truncated (episode horizon reached).
+  void truncate_all();
+
+  std::size_t completed_steps() const noexcept { return completed_steps_; }
+  std::size_t open_trajectories() const noexcept { return open_.size(); }
+
+  /// Drain all finished trajectories into a batch, computing discounted
+  /// returns. Truncated trajectories bootstrap with `critic_value` applied
+  /// to their last observation. The buffer keeps open trajectories.
+  Batch drain(const ActorCritic& net, std::size_t obs_dim);
+
+ private:
+  double gamma_;
+  std::unordered_map<std::uint64_t, Trajectory> open_;
+  std::vector<Trajectory> finished_;
+  std::size_t completed_steps_ = 0;
+};
+
+}  // namespace dosc::rl

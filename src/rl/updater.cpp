@@ -1,0 +1,134 @@
+#include "rl/updater.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dosc::rl {
+
+const char* optimizer_kind_name(OptimizerKind kind) noexcept {
+  switch (kind) {
+    case OptimizerKind::kRmsProp: return "rmsprop";
+    case OptimizerKind::kAdam: return "adam";
+    case OptimizerKind::kSgd: return "sgd";
+    case OptimizerKind::kAcktr: return "acktr";
+  }
+  return "?";
+}
+
+OptimizerKind parse_optimizer_kind(std::string_view name) {
+  if (name == "rmsprop") return OptimizerKind::kRmsProp;
+  if (name == "adam") return OptimizerKind::kAdam;
+  if (name == "sgd") return OptimizerKind::kSgd;
+  if (name == "acktr") return OptimizerKind::kAcktr;
+  throw std::invalid_argument("unknown optimizer: " + std::string(name));
+}
+
+Updater::Updater(const UpdaterConfig& config) : config_(config) {
+  actor_opt_ = make_optimizer(/*is_critic=*/false);
+  critic_opt_ = make_optimizer(/*is_critic=*/true);
+  if (config_.optimizer == OptimizerKind::kAcktr) {
+    actor_kfac_ = dynamic_cast<nn::Kfac*>(actor_opt_.get());
+    critic_kfac_ = dynamic_cast<nn::Kfac*>(critic_opt_.get());
+  }
+}
+
+std::unique_ptr<nn::Optimizer> Updater::make_optimizer(bool is_critic) const {
+  switch (config_.optimizer) {
+    case OptimizerKind::kRmsProp:
+      return std::make_unique<nn::RmsProp>(config_.learning_rate);
+    case OptimizerKind::kAdam:
+      return std::make_unique<nn::Adam>(config_.learning_rate);
+    case OptimizerKind::kSgd:
+      return std::make_unique<nn::Sgd>(config_.learning_rate, 0.9);
+    case OptimizerKind::kAcktr: {
+      nn::KfacConfig kfac;
+      kfac.learning_rate = config_.learning_rate;
+      kfac.kl_clip = config_.kl_clip;
+      kfac.fisher_coef = config_.fisher_coef;
+      kfac.damping = config_.kfac_damping;
+      // The critic's trust region is on value change, conventionally wider.
+      if (is_critic) kfac.kl_clip = config_.kl_clip * 10.0;
+      return std::make_unique<nn::Kfac>(kfac);
+    }
+  }
+  throw std::logic_error("Updater: invalid optimizer kind");
+}
+
+double Updater::current_learning_rate() const noexcept {
+  if (config_.lr_decay_updates == 0) return config_.learning_rate;
+  const double frac = 1.0 - std::min(1.0, static_cast<double>(updates_) /
+                                              static_cast<double>(config_.lr_decay_updates));
+  return config_.learning_rate * std::max(0.05, frac);
+}
+
+UpdateStats Updater::update(ActorCritic& net, const Batch& batch) {
+  UpdateStats stats;
+  stats.batch_size = batch.size();
+  if (batch.size() == 0) return stats;
+  const std::size_t n = batch.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  const double lr = current_learning_rate();
+  actor_opt_->set_learning_rate(lr);
+  critic_opt_->set_learning_rate(lr);
+
+  // ---- critic: V(o) vs discounted return ----
+  nn::Mlp& critic = net.critic();
+  critic.zero_grad();
+  const nn::Matrix values = critic.forward(batch.obs);  // [N x 1]
+  std::vector<double> advantages(n);
+  nn::Matrix grad_v(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = values(i, 0);
+    const double err = v - batch.returns[i];
+    advantages[i] = batch.returns[i] - v;
+    stats.value_loss += 0.5 * err * err * inv_n;
+    grad_v(i, 0) = config_.value_coef * err * inv_n;
+  }
+  critic.backward(grad_v);
+  critic.clip_grad_norm(config_.max_grad_norm);
+  if (critic_kfac_ != nullptr) critic_kfac_->update_factors(critic);
+  critic_opt_->step(critic);
+
+  // ---- advantage normalisation ----
+  double adv_mean = 0.0;
+  for (const double a : advantages) adv_mean += a * inv_n;
+  stats.mean_advantage = adv_mean;
+  if (config_.normalize_advantage && n > 1) {
+    double var = 0.0;
+    for (const double a : advantages) var += (a - adv_mean) * (a - adv_mean);
+    const double stddev = std::sqrt(var / static_cast<double>(n - 1)) + 1e-8;
+    for (double& a : advantages) a = (a - adv_mean) / stddev;
+  }
+
+  // ---- actor: policy gradient + entropy bonus ----
+  nn::Mlp& actor = net.actor();
+  actor.zero_grad();
+  const nn::Matrix logits = actor.forward(batch.obs);  // [N x A]
+  const std::size_t num_actions = logits.cols();
+  nn::Matrix grad_logits(n, num_actions);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = logits.row(i);
+    const std::vector<double> probs = softmax(row);
+    const double logp = log_softmax_at(row, static_cast<std::size_t>(batch.actions[i]));
+    const double entropy = softmax_entropy(row);
+    stats.policy_loss += -logp * advantages[i] * inv_n;
+    stats.entropy += entropy * inv_n;
+    for (std::size_t j = 0; j < num_actions; ++j) {
+      const double onehot = (static_cast<int>(j) == batch.actions[i]) ? 1.0 : 0.0;
+      // d(-logp*adv)/dz + entropy_coef * d(-H)/dz
+      const double pg = advantages[i] * (probs[j] - onehot);
+      const double ent = config_.entropy_coef * probs[j] * (std::log(std::max(probs[j], 1e-12)) + entropy);
+      grad_logits(i, j) = (pg + ent) * inv_n;
+    }
+  }
+  actor.backward(grad_logits);
+  actor.clip_grad_norm(config_.max_grad_norm);
+  if (actor_kfac_ != nullptr) actor_kfac_->update_factors(actor);
+  actor_opt_->step(actor);
+
+  ++updates_;
+  return stats;
+}
+
+}  // namespace dosc::rl

@@ -1,0 +1,63 @@
+// Coordination interfaces between the simulator and algorithms.
+//
+// A Coordinator is queried whenever a flow needs a decision at a node —
+// this is the single point where scaling, placement, scheduling, and
+// routing are controlled (Sec. IV-A): action 0 processes the flow locally
+// (auto-placing an instance if needed, i.e., setting x and y jointly);
+// action a in 1..Delta_G forwards it to the node's a-th neighbour.
+//
+// A FlowObserver receives the flow lifecycle events from which the RL
+// environment derives the shaped reward, and which the metrics collectors
+// consume. Both distributed and centralized algorithms implement
+// Coordinator; the latter additionally uses the periodic callback to model
+// delayed global monitoring.
+#pragma once
+
+#include "net/network.hpp"
+#include "sim/flow.hpp"
+
+namespace dosc::sim {
+
+class Simulator;
+
+/// Local processing / parking of a fully-processed flow.
+inline constexpr int kActionProcessLocal = 0;
+
+class Coordinator {
+ public:
+  virtual ~Coordinator() = default;
+
+  /// Decide y_{f,c_f,v}(t) for `flow` at `node`: kActionProcessLocal, or
+  /// 1..Delta_G selecting the a-th neighbour (1-based). Returning an action
+  /// beyond the node's real neighbour count drops the flow (invalid
+  /// action). Called once per flow arrival at a node.
+  virtual int decide(const Simulator& sim, const Flow& flow, net::NodeId node) = 0;
+
+  /// Reset any per-episode state. Called by Simulator::run() before the
+  /// first event.
+  virtual void on_episode_start(const Simulator& /*sim*/) {}
+
+  /// If > 0, on_periodic() is invoked every this many ms of simulated time
+  /// (used by the centralized baseline to model monitoring + rule pushes).
+  virtual double periodic_interval() const { return 0.0; }
+  virtual void on_periodic(const Simulator& /*sim*/, double /*time*/) {}
+};
+
+class FlowObserver {
+ public:
+  virtual ~FlowObserver() = default;
+  /// Flow reached its egress fully processed within its deadline.
+  virtual void on_completed(const Flow& /*flow*/, double /*time*/) {}
+  virtual void on_dropped(const Flow& /*flow*/, DropReason /*reason*/, double /*time*/) {}
+  /// Flow finished traversing an instance (reward +1/n_s during training).
+  virtual void on_component_processed(const Flow& /*flow*/, net::NodeId /*node*/,
+                                      double /*time*/) {}
+  /// Flow was sent over a link (reward -d_l / D_G during training).
+  virtual void on_forwarded(const Flow& /*flow*/, net::NodeId /*from*/, net::LinkId /*link*/,
+                            double /*time*/) {}
+  /// A fully processed flow was kept at the node for one time step
+  /// (reward -1 / D_G during training).
+  virtual void on_parked(const Flow& /*flow*/, net::NodeId /*node*/, double /*time*/) {}
+};
+
+}  // namespace dosc::sim

@@ -1,0 +1,65 @@
+// Flow model (Sec. III-A).
+//
+// A flow f = (s_f, c_f, v_in, v_eg, lambda_f, t_in, delta_f, tau_f) is a
+// fluid stream requesting a service. c_f — the currently requested
+// component — is tracked as chain_pos, the index into the service chain;
+// chain_pos == chain length means the flow is fully processed (c_f = ∅) and
+// only needs routing to its egress.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/service.hpp"
+
+namespace dosc::sim {
+
+using FlowId = std::uint64_t;
+
+enum class DropReason {
+  kNodeOverload,   ///< chosen node lacked compute capacity for r_c(lambda)
+  kLinkOverload,   ///< chosen link lacked capacity for lambda
+  kInvalidAction,  ///< action pointed at a padded (non-existing) neighbour
+  kExpired,        ///< deadline tau_f reached before the flow completed
+  kNodeFailed,     ///< the flow was at / sent to a failed node
+  kLinkFailed,     ///< the flow was forwarded onto a failed link
+};
+
+inline constexpr std::size_t kNumDropReasons = 6;
+
+const char* drop_reason_name(DropReason reason) noexcept;
+
+struct Flow {
+  FlowId id = 0;
+  ServiceId service = 0;
+  /// Index of the currently requested component within the service chain;
+  /// equal to the chain length once fully processed (c_f = ∅).
+  std::size_t chain_pos = 0;
+  net::NodeId ingress = net::kInvalidNode;
+  net::NodeId egress = net::kInvalidNode;
+  double rate = 1.0;       ///< lambda_f
+  double duration = 1.0;   ///< delta_f
+  double arrival_time = 0.0;  ///< t_f^in
+  double deadline = 100.0;    ///< tau_f, relative to arrival_time
+
+  /// Node the flow currently resides at (where the next decision happens).
+  net::NodeId current_node = net::kInvalidNode;
+
+  // --- internal simulator state (read-only for coordinators) ---
+  bool alive = true;
+  std::vector<std::uint32_t> holds;  ///< indices of active resource holds
+  /// Instance currently processing the flow (pins it against idle
+  /// removal), or kNoInstance.
+  static constexpr std::uint32_t kNoInstance = 0xFFFFFFFF;
+  std::uint32_t processing_instance = kNoInstance;
+
+  /// Remaining time to the deadline at time t: tau_f^t = tau_f - (t - t_in).
+  double remaining_deadline(double t) const noexcept {
+    return deadline - (t - arrival_time);
+  }
+  /// Absolute expiry time.
+  double expiry_time() const noexcept { return arrival_time + deadline; }
+};
+
+}  // namespace dosc::sim

@@ -1,0 +1,40 @@
+// Episode metrics: the paper's objective (Eq. 1, percentage of successful
+// flows) plus the diagnostics used across the evaluation (end-to-end delay
+// of completed flows, drop reason breakdown, decision counts/latency).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/flow.hpp"
+#include "util/stats.hpp"
+
+namespace dosc::sim {
+
+struct SimMetrics {
+  std::uint64_t generated = 0;  ///< flows injected at ingress nodes
+  std::uint64_t succeeded = 0;
+  std::uint64_t dropped = 0;
+  std::array<std::uint64_t, kNumDropReasons> drops_by_reason{};  ///< by DropReason
+
+  util::RunningStats e2e_delay;       ///< of successful flows only (ms)
+  util::RunningStats decision_time;   ///< per-decision wall clock (us), if timed
+  std::uint64_t decisions = 0;
+
+  void record_success(double delay) noexcept {
+    ++succeeded;
+    e2e_delay.add(delay);
+  }
+  void record_drop(DropReason reason) noexcept {
+    ++dropped;
+    ++drops_by_reason[static_cast<std::size_t>(reason)];
+  }
+
+  /// Objective o_f = |F_succ| / (|F_succ| + |F_drop|); 0 when undefined.
+  double success_ratio() const noexcept {
+    const std::uint64_t total = succeeded + dropped;
+    return total > 0 ? static_cast<double>(succeeded) / static_cast<double>(total) : 0.0;
+  }
+};
+
+}  // namespace dosc::sim

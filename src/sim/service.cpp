@@ -1,0 +1,40 @@
+#include "sim/service.hpp"
+
+namespace dosc::sim {
+
+ComponentId ServiceCatalog::add_component(Component component) {
+  if (component.processing_delay < 0.0 || component.startup_delay < 0.0 ||
+      component.idle_timeout < 0.0) {
+    throw std::invalid_argument("Component: negative delay");
+  }
+  components_.push_back(std::move(component));
+  return static_cast<ComponentId>(components_.size() - 1);
+}
+
+ServiceId ServiceCatalog::add_service(Service service) {
+  for (const ComponentId c : service.chain) {
+    if (c >= components_.size()) {
+      throw std::invalid_argument("Service: unknown component in chain");
+    }
+  }
+  services_.push_back(std::move(service));
+  return static_cast<ServiceId>(services_.size() - 1);
+}
+
+ServiceCatalog make_video_streaming_catalog(double processing_delay, double startup_delay,
+                                            double idle_timeout) {
+  ServiceCatalog catalog;
+  Service video{"video_streaming", {}};
+  for (const char* name : {"c_FW", "c_IDS", "c_video"}) {
+    video.chain.push_back(catalog.add_component({.name = name,
+                                                 .processing_delay = processing_delay,
+                                                 .resource_per_rate = 1.0,
+                                                 .resource_fixed = 0.0,
+                                                 .startup_delay = startup_delay,
+                                                 .idle_timeout = idle_timeout}));
+  }
+  catalog.add_service(std::move(video));
+  return catalog;
+}
+
+}  // namespace dosc::sim

@@ -1,0 +1,66 @@
+// Services and service components (Sec. III-A).
+//
+// A service s is a chain of n_s components that flows must traverse in
+// order. Components can be instantiated at any node (at most one instance
+// per component and node); processing a flow at an instance of c takes
+// d_c ms and consumes resources r_c(lambda) relative to the flow's data
+// rate. Instances incur a startup delay when first placed and are removed
+// after an idle timeout.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dosc::sim {
+
+using ServiceId = std::uint32_t;
+using ComponentId = std::uint32_t;
+
+struct Component {
+  std::string name;
+  double processing_delay = 5.0;  ///< d_c in ms
+  /// r_c(lambda) = resource_per_rate * lambda + resource_fixed. The paper's
+  /// base scenario uses resources linear in load (per_rate=1, fixed=0).
+  double resource_per_rate = 1.0;
+  double resource_fixed = 0.0;
+  double startup_delay = 0.0;  ///< d_c^up: extra wait when a new instance is placed
+  double idle_timeout = 50.0;  ///< delta_c: idle instances removed after this
+
+  double resource(double rate) const noexcept {
+    return resource_per_rate * rate + resource_fixed;
+  }
+};
+
+struct Service {
+  std::string name;
+  std::vector<ComponentId> chain;  ///< C_s, in traversal order
+
+  std::size_t length() const noexcept { return chain.size(); }
+};
+
+/// All components (set C) and services (set S) of a scenario.
+class ServiceCatalog {
+ public:
+  ComponentId add_component(Component component);
+  ServiceId add_service(Service service);
+
+  const Component& component(ComponentId c) const { return components_.at(c); }
+  const Service& service(ServiceId s) const { return services_.at(s); }
+  std::size_t num_components() const noexcept { return components_.size(); }
+  std::size_t num_services() const noexcept { return services_.size(); }
+
+ private:
+  std::vector<Component> components_;
+  std::vector<Service> services_;
+};
+
+/// The paper's base-scenario service: video streaming with chain
+/// <c_FW, c_IDS, c_video>, each with d_c = 5 ms and resources linear in
+/// load. `startup_delay` and `idle_timeout` apply to all three components.
+ServiceCatalog make_video_streaming_catalog(double processing_delay = 5.0,
+                                            double startup_delay = 0.0,
+                                            double idle_timeout = 50.0);
+
+}  // namespace dosc::sim

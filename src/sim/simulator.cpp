@@ -1,0 +1,392 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace dosc::sim {
+
+namespace {
+// Tolerance on capacity comparisons: flows whose demand exceeds the free
+// capacity by less than this still fit (guards against float accumulation).
+constexpr double kCapacityEps = 1e-9;
+}  // namespace
+
+const char* drop_reason_name(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::kNodeOverload: return "node_overload";
+    case DropReason::kLinkOverload: return "link_overload";
+    case DropReason::kInvalidAction: return "invalid_action";
+    case DropReason::kExpired: return "expired";
+    case DropReason::kNodeFailed: return "node_failed";
+    case DropReason::kLinkFailed: return "link_failed";
+  }
+  return "?";
+}
+
+Simulator::Simulator(const Scenario& scenario, std::uint64_t seed)
+    : scenario_(scenario), network_(scenario.network()), rng_(seed) {
+  // Per-seed capacity draw, as in the paper's 30-seed experiment runs.
+  util::Rng cap_rng = rng_.fork(1);
+  const ScenarioConfig& config = scenario_.config();
+  if (config.randomize_capacities) {
+    network_.assign_random_capacities(cap_rng, config.node_cap_lo, config.node_cap_hi,
+                                      config.link_cap_lo, config.link_cap_hi);
+  }
+
+  node_used_.assign(network_.num_nodes(), 0.0);
+  link_used_.assign(network_.num_links(), 0.0);
+  node_down_.assign(network_.num_nodes(), 0);
+  link_down_.assign(network_.num_links(), 0);
+  instances_.assign(network_.num_nodes() * catalog().num_components(), Instance{});
+
+  for (std::size_t i = 0; i < config.ingress.size(); ++i) {
+    ingress_rngs_.push_back(rng_.fork(100 + i));
+    arrivals_.push_back(config.traffic.make_process());
+  }
+}
+
+double Simulator::component_demand(const Flow& flow) const {
+  if (fully_processed(flow)) return 0.0;
+  return catalog().component(requested_component(flow)).resource(flow.rate);
+}
+
+ComponentId Simulator::requested_component(const Flow& flow) const {
+  const Service& service = service_of(flow);
+  if (flow.chain_pos >= service.length()) {
+    throw std::logic_error("requested_component: flow fully processed");
+  }
+  return service.chain[flow.chain_pos];
+}
+
+void Simulator::schedule(double time, EventKind kind, FlowId flow, std::uint32_t a,
+                         std::uint32_t b) {
+  heap_.push_back({time, next_seq_++, kind, flow, a, b});
+  std::push_heap(heap_.begin(), heap_.end(), EventOrder{});
+}
+
+SimMetrics Simulator::run(Coordinator& coordinator, FlowObserver* observer) {
+  if (ran_) throw std::logic_error("Simulator::run may only be called once");
+  ran_ = true;
+  coordinator_ = &coordinator;
+  observer_ = observer;
+
+  const ScenarioConfig& config = scenario_.config();
+  coordinator.on_episode_start(*this);
+
+  // Seed the event queue: first arrival per ingress, plus periodic callbacks
+  // for coordinators that use them (the centralized baseline's monitoring).
+  for (std::size_t i = 0; i < config.ingress.size(); ++i) {
+    const double dt = arrivals_[i]->next_interarrival(0.0, ingress_rngs_[i]);
+    schedule(dt, EventKind::kTrafficArrival, 0, static_cast<std::uint32_t>(i));
+  }
+  const double periodic = coordinator.periodic_interval();
+  if (periodic > 0.0) schedule(periodic, EventKind::kPeriodic);
+  for (const FailureEvent& failure : config.failures) {
+    const std::uint32_t kind = (failure.kind == FailureEvent::Kind::kNode) ? 0 : 1;
+    schedule(failure.start, EventKind::kFailureStart, 0, kind, failure.id);
+    if (failure.duration > 0.0) {
+      schedule(failure.start + failure.duration, EventKind::kFailureEnd, 0, kind, failure.id);
+    }
+  }
+
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
+    const Event event = heap_.back();
+    heap_.pop_back();
+    time_ = event.time;
+
+    switch (event.kind) {
+      case EventKind::kTrafficArrival: handle_traffic_arrival(event); break;
+      case EventKind::kFlowArrival: handle_flow_arrival(event); break;
+      case EventKind::kProcessingDone: handle_processing_done(event); break;
+      case EventKind::kHoldRelease: handle_hold_release(event); break;
+      case EventKind::kInstanceIdle: handle_instance_idle(event); break;
+      case EventKind::kFlowExpiry: handle_flow_expiry(event); break;
+      case EventKind::kFailureStart: handle_failure_start(event); break;
+      case EventKind::kFailureEnd: handle_failure_end(event); break;
+      case EventKind::kPeriodic:
+        // Periodic callbacks continue while traffic can still arrive.
+        if (time_ <= config.end_time) {
+          coordinator_->on_periodic(*this, time_);
+          if (time_ + periodic <= config.end_time) {
+            schedule(time_ + periodic, EventKind::kPeriodic);
+          }
+        }
+        break;
+    }
+  }
+  coordinator_ = nullptr;
+  observer_ = nullptr;
+  return metrics_;
+}
+
+void Simulator::handle_traffic_arrival(const Event& event) {
+  const ScenarioConfig& config = scenario_.config();
+  if (time_ > config.end_time) return;  // generation horizon reached
+
+  const std::uint32_t ingress_index = event.a;
+  const net::NodeId ingress = config.ingress[ingress_index];
+
+  // Stamp a flow from a (weighted) template.
+  std::size_t template_index = 0;
+  if (config.flows.size() > 1) {
+    std::vector<double> weights;
+    weights.reserve(config.flows.size());
+    for (const FlowTemplate& t : config.flows) weights.push_back(t.weight);
+    template_index = rng_.categorical(weights);
+  }
+  const FlowTemplate& tmpl = config.flows[template_index];
+
+  Flow flow;
+  flow.id = next_flow_id_++;
+  flow.service = tmpl.service;
+  flow.ingress = ingress;
+  flow.egress = config.egress;
+  flow.rate = tmpl.rate;
+  flow.duration = tmpl.duration;
+  flow.arrival_time = time_;
+  flow.deadline = tmpl.deadline;
+  flow.current_node = ingress;
+  const FlowId id = flow.id;
+  flows_.emplace(id, std::move(flow));
+  ++metrics_.generated;
+
+  schedule(time_, EventKind::kFlowArrival, id, ingress);
+  schedule(time_ + flows_.at(id).deadline, EventKind::kFlowExpiry, id);
+
+  // Next arrival at this ingress.
+  const double dt = arrivals_[ingress_index]->next_interarrival(time_, ingress_rngs_[ingress_index]);
+  schedule(time_ + dt, EventKind::kTrafficArrival, 0, ingress_index);
+}
+
+void Simulator::handle_flow_arrival(const Event& event) {
+  const auto it = flows_.find(event.flow);
+  if (it == flows_.end()) return;  // dropped/completed meanwhile
+  Flow& flow = it->second;
+  const net::NodeId node = event.a;
+  flow.current_node = node;
+
+  // A failed node black-holes traffic: anything arriving there is lost.
+  if (node_down_[node]) {
+    drop(flow, DropReason::kNodeFailed);
+    return;
+  }
+  if (fully_processed(flow) && node == flow.egress) {
+    complete(flow);
+    return;
+  }
+  ++metrics_.decisions;
+  const int action = coordinator_->decide(*this, flow, node);
+  apply_action(flow, node, action);
+}
+
+void Simulator::apply_action(Flow& flow, net::NodeId node, int action) {
+  const auto& neighbors = network_.neighbors(node);
+  const int max_action = static_cast<int>(network_.max_degree());
+  if (action < 0 || action > max_action) {
+    drop(flow, DropReason::kInvalidAction);
+    return;
+  }
+  if (action == kActionProcessLocal) {
+    if (fully_processed(flow)) {
+      park(flow, node);
+    } else {
+      process_locally(flow, node);
+    }
+    return;
+  }
+  // Forward to the a-th neighbour (1-based). Actions beyond the node's real
+  // neighbour count point at padded dummy neighbours and drop the flow.
+  const std::size_t index = static_cast<std::size_t>(action - 1);
+  if (index >= neighbors.size()) {
+    drop(flow, DropReason::kInvalidAction);
+    return;
+  }
+  forward(flow, node, neighbors[index]);
+}
+
+void Simulator::process_locally(Flow& flow, net::NodeId node) {
+  const ComponentId comp = requested_component(flow);
+  const Component& component = catalog().component(comp);
+  const double demand = component.resource(flow.rate);
+
+  if (node_used_[node] + demand > network_.node(node).capacity + kCapacityEps) {
+    drop(flow, DropReason::kNodeOverload);
+    return;
+  }
+  // Scaling + placement derived from the scheduling decision: ensure an
+  // instance exists (x_{c,v} := 1), starting one if needed.
+  const std::size_t idx = instance_index(node, comp);
+  Instance& instance = instances_[idx];
+  if (!instance.exists) {
+    instance.exists = true;
+    instance.ready_time = time_ + component.startup_delay;
+    instance.active = 0;
+    ++instance.idle_epoch;
+  }
+  const double start = std::max(time_, instance.ready_time);
+  const double done = start + component.processing_delay;
+
+  // Rate-capacity node occupancy: the instance consumes r_c(lambda) for the
+  // processing window [now, done] (including any startup wait), matching
+  // coord-sim's fluid model. The release is scheduled before the
+  // processing-done requery (lower sequence number), so a node with
+  // capacity for one flow can chain consecutive components of that flow.
+  acquire(/*is_node=*/true, node, demand, done, flow);
+  ++instance.active;
+  flow.processing_instance = static_cast<std::uint32_t>(idx);
+  schedule(done, EventKind::kProcessingDone, flow.id, node);
+}
+
+void Simulator::forward(Flow& flow, net::NodeId node, const net::Neighbor& neighbor) {
+  const net::Link& link = network_.link(neighbor.link);
+  if (link_down_[neighbor.link]) {
+    drop(flow, DropReason::kLinkFailed);
+    return;
+  }
+  if (link_used_[neighbor.link] + flow.rate > link.capacity + kCapacityEps) {
+    drop(flow, DropReason::kLinkOverload);
+    return;
+  }
+  acquire(/*is_node=*/false, neighbor.link, flow.rate, time_ + link.delay + flow.duration, flow);
+  if (observer_ != nullptr) observer_->on_forwarded(flow, node, neighbor.link, time_);
+  schedule(time_ + link.delay, EventKind::kFlowArrival, flow.id, neighbor.node);
+}
+
+void Simulator::park(Flow& flow, net::NodeId node) {
+  if (observer_ != nullptr) observer_->on_parked(flow, node, time_);
+  schedule(time_ + scenario_.config().park_step, EventKind::kFlowArrival, flow.id, node);
+}
+
+void Simulator::handle_processing_done(const Event& event) {
+  const auto it = flows_.find(event.flow);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  if (flow.processing_instance != Flow::kNoInstance) {
+    on_instance_maybe_idle(flow.processing_instance);
+    flow.processing_instance = Flow::kNoInstance;
+  }
+  ++flow.chain_pos;
+  if (observer_ != nullptr) observer_->on_component_processed(flow, event.a, time_);
+  // The flow now requests the next component (or routing to its egress) at
+  // the same node; query the node's agent again.
+  schedule(time_, EventKind::kFlowArrival, flow.id, event.a);
+}
+
+std::uint32_t Simulator::acquire(bool is_node, std::uint32_t target, double amount,
+                                 double release_time, Flow& flow) {
+  if (is_node) {
+    node_used_[target] += amount;
+  } else {
+    link_used_[target] += amount;
+  }
+  holds_.push_back({is_node, target, amount, /*active=*/true});
+  const std::uint32_t index = static_cast<std::uint32_t>(holds_.size() - 1);
+  flow.holds.push_back(index);
+  schedule(release_time, EventKind::kHoldRelease, 0, index);
+  return index;
+}
+
+void Simulator::release_hold(std::uint32_t index) {
+  Hold& hold = holds_.at(index);
+  if (!hold.active) return;
+  hold.active = false;
+  if (hold.is_node) {
+    node_used_[hold.target] = std::max(0.0, node_used_[hold.target] - hold.amount);
+  } else {
+    link_used_[hold.target] = std::max(0.0, link_used_[hold.target] - hold.amount);
+  }
+}
+
+void Simulator::on_instance_maybe_idle(std::uint32_t instance_index_value) {
+  Instance& instance = instances_.at(instance_index_value);
+  if (instance.active > 0) --instance.active;
+  if (instance.exists && instance.active == 0) {
+    ++instance.idle_epoch;
+    ComponentId comp = static_cast<ComponentId>(instance_index_value % catalog().num_components());
+    const double timeout = catalog().component(comp).idle_timeout;
+    schedule(time_ + timeout, EventKind::kInstanceIdle, instance.idle_epoch,
+             static_cast<std::uint32_t>(instance_index_value));
+  }
+}
+
+void Simulator::handle_hold_release(const Event& event) { release_hold(event.a); }
+
+void Simulator::handle_instance_idle(const Event& event) {
+  Instance& instance = instances_.at(event.a);
+  // The epoch captured at scheduling time invalidates this removal if the
+  // instance processed another flow in the meantime.
+  if (instance.exists && instance.active == 0 && instance.idle_epoch == event.flow) {
+    instance.exists = false;  // x_{c,v} := 0, unused instance removed
+  }
+}
+
+void Simulator::handle_flow_expiry(const Event& event) {
+  const auto it = flows_.find(event.flow);
+  if (it == flows_.end()) return;
+  drop(it->second, DropReason::kExpired);
+}
+
+void Simulator::handle_failure_start(const Event& event) {
+  if (event.a == 1) {
+    // Link failure: nothing new enters the link; bits already in flight
+    // are assumed delivered (a conservative cut semantics).
+    link_down_[event.b] = 1;
+    return;
+  }
+  const net::NodeId node = event.b;
+  node_down_[node] = 1;
+  // Flows being processed at the node die with it; their resources free.
+  std::vector<FlowId> casualties;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.processing_instance != Flow::kNoInstance &&
+        flow.processing_instance / catalog().num_components() == node) {
+      casualties.push_back(id);
+    }
+  }
+  for (const FlowId id : casualties) {
+    const auto it = flows_.find(id);
+    if (it != flows_.end()) drop(it->second, DropReason::kNodeFailed);
+  }
+  // Its instances are gone (x_{c,v} := 0); restarts after recovery pay the
+  // startup delay again.
+  for (ComponentId c = 0; c < catalog().num_components(); ++c) {
+    Instance& instance = instances_[instance_index(node, c)];
+    instance.exists = false;
+    instance.active = 0;
+    ++instance.idle_epoch;  // invalidate pending idle-timeout events
+  }
+}
+
+void Simulator::handle_failure_end(const Event& event) {
+  if (event.a == 1) {
+    link_down_[event.b] = 0;
+  } else {
+    node_down_[event.b] = 0;
+  }
+}
+
+void Simulator::drop(Flow& flow, DropReason reason) {
+  metrics_.record_drop(reason);
+  if (observer_ != nullptr) observer_->on_dropped(flow, reason, time_);
+  // Deadline expiry (and any other drop) frees currently blocked resources
+  // and unpins the instance the flow was being processed at.
+  for (const std::uint32_t hold : flow.holds) release_hold(hold);
+  if (flow.processing_instance != Flow::kNoInstance) {
+    on_instance_maybe_idle(flow.processing_instance);
+  }
+  flows_.erase(flow.id);
+}
+
+void Simulator::complete(Flow& flow) {
+  const double delay = time_ - flow.arrival_time;
+  metrics_.record_success(delay);
+  if (observer_ != nullptr) observer_->on_completed(flow, time_);
+  // The flow's tail is still draining through held resources; the scheduled
+  // hold releases handle that. Only the flow record goes away.
+  flows_.erase(flow.id);
+}
+
+}  // namespace dosc::sim

@@ -1,0 +1,173 @@
+// Flow-level discrete-event network simulator (the paper's coord-sim).
+//
+// Continuous time in ms; events are ordered by (time, insertion sequence)
+// so simultaneous events resolve deterministically. Flows are fluid streams
+// (Sec. III-A): a flow occupies r_c(lambda_f) at a node for the processing
+// delay plus its own duration, and lambda_f on a link for the link delay
+// plus its duration. Capacity violations, invalid actions, and deadline
+// expiry drop the flow; expiry releases all resources it still blocks.
+//
+// One Simulator instance runs exactly one episode: construct from a shared
+// Scenario with a seed (which draws capacities and drives traffic), then
+// call run(). All coordination algorithms — the distributed DRL agents and
+// the three baselines — plug in through the Coordinator interface.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/shortest_paths.hpp"
+#include "sim/coordinator.hpp"
+#include "sim/flow.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace dosc::sim {
+
+class Simulator {
+ public:
+  Simulator(const Scenario& scenario, std::uint64_t seed);
+
+  /// Run the episode to completion. Must be called at most once.
+  SimMetrics run(Coordinator& coordinator, FlowObserver* observer = nullptr);
+
+  // --- state accessors (valid inside Coordinator/FlowObserver callbacks) ---
+  double time() const noexcept { return time_; }
+  const Scenario& scenario() const noexcept { return scenario_; }
+  const net::Network& network() const noexcept { return network_; }
+  const net::ShortestPaths& shortest_paths() const noexcept {
+    return scenario_.shortest_paths();
+  }
+  const ServiceCatalog& catalog() const noexcept { return scenario_.catalog(); }
+  const SimMetrics& metrics() const noexcept { return metrics_; }
+
+  /// Compute resources currently consumed / still free at a node. A failed
+  /// node offers no capacity, so its free capacity reads <= 0 — this is the
+  /// only way agents "see" failures, matching capacity monitoring.
+  double node_used(net::NodeId v) const { return node_used_.at(v); }
+  double node_free(net::NodeId v) const {
+    return (node_down_[v] ? 0.0 : network_.node(v).capacity) - node_used_.at(v);
+  }
+  /// Data rate currently on / still free of a link (shared both directions).
+  double link_used(net::LinkId l) const { return link_used_.at(l); }
+  double link_free(net::LinkId l) const {
+    return (link_down_[l] ? 0.0 : network_.link(l).capacity) - link_used_.at(l);
+  }
+  bool node_failed(net::NodeId v) const { return node_down_.at(v) != 0; }
+  bool link_failed(net::LinkId l) const { return link_down_.at(l) != 0; }
+
+  /// x_{c,v}(t): an instance of c exists at v (possibly still starting up).
+  bool instance_available(net::NodeId v, ComponentId c) const {
+    return instances_.at(instance_index(v, c)).exists;
+  }
+
+  /// True once the flow traversed its whole chain (c_f = ∅).
+  bool fully_processed(const Flow& flow) const {
+    return flow.chain_pos >= service_of(flow).length();
+  }
+  const Service& service_of(const Flow& flow) const {
+    return catalog().service(flow.service);
+  }
+  /// r_{c_f}(lambda_f): demand of the requested component; 0 if done.
+  double component_demand(const Flow& flow) const;
+  /// Currently requested component; throws if the flow is fully processed.
+  ComponentId requested_component(const Flow& flow) const;
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kTrafficArrival,   ///< a = ingress index
+    kFlowArrival,      ///< flow at node a (needs decision / may complete)
+    kProcessingDone,   ///< flow finished processing at node a
+    kHoldRelease,      ///< a = hold index
+    kInstanceIdle,     ///< a = node, b = component, flow = idle epoch
+    kFlowExpiry,
+    kPeriodic,
+    kFailureStart,     ///< a = 0 node / 1 link, b = element id
+    kFailureEnd,
+  };
+
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kFlowArrival;
+    FlowId flow = 0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+  };
+  struct EventOrder {
+    bool operator()(const Event& x, const Event& y) const noexcept {
+      if (x.time != y.time) return x.time > y.time;
+      return x.seq > y.seq;
+    }
+  };
+
+  struct Hold {
+    bool is_node = true;
+    std::uint32_t target = 0;  ///< node or link id
+    double amount = 0.0;
+    bool active = false;
+  };
+
+  struct Instance {
+    bool exists = false;
+    double ready_time = 0.0;
+    std::uint32_t active = 0;     ///< flows currently pinning the instance
+    std::uint64_t idle_epoch = 0; ///< invalidates stale idle-timeout events
+  };
+
+  std::size_t instance_index(net::NodeId v, ComponentId c) const {
+    return static_cast<std::size_t>(v) * catalog().num_components() + c;
+  }
+
+  void schedule(double time, EventKind kind, FlowId flow = 0, std::uint32_t a = 0,
+                std::uint32_t b = 0);
+  void handle_traffic_arrival(const Event& event);
+  void handle_flow_arrival(const Event& event);
+  void handle_processing_done(const Event& event);
+  void handle_hold_release(const Event& event);
+  void handle_instance_idle(const Event& event);
+  void handle_flow_expiry(const Event& event);
+  void handle_failure_start(const Event& event);
+  void handle_failure_end(const Event& event);
+
+  void apply_action(Flow& flow, net::NodeId node, int action);
+  void process_locally(Flow& flow, net::NodeId node);
+  void forward(Flow& flow, net::NodeId node, const net::Neighbor& neighbor);
+  void park(Flow& flow, net::NodeId node);
+  void drop(Flow& flow, DropReason reason);
+  void complete(Flow& flow);
+
+  std::uint32_t acquire(bool is_node, std::uint32_t target, double amount, double release_time,
+                        Flow& flow);
+  void release_hold(std::uint32_t index);
+  void on_instance_maybe_idle(std::uint32_t instance_index_value);
+
+  const Scenario& scenario_;
+  net::Network network_;  ///< private copy carrying this episode's capacities
+  util::Rng rng_;
+  std::vector<util::Rng> ingress_rngs_;
+  std::vector<std::unique_ptr<traffic::ArrivalProcess>> arrivals_;
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+  double time_ = 0.0;
+  bool ran_ = false;
+
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  std::vector<double> node_used_;
+  std::vector<double> link_used_;
+  std::vector<char> node_down_;
+  std::vector<char> link_down_;
+  std::vector<Hold> holds_;
+  std::vector<Instance> instances_;
+
+  Coordinator* coordinator_ = nullptr;
+  FlowObserver* observer_ = nullptr;
+  SimMetrics metrics_;
+};
+
+}  // namespace dosc::sim

@@ -1,0 +1,66 @@
+#include "traffic/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dosc::traffic {
+
+namespace {
+// Exponential draws can be arbitrarily small; flooring them keeps the event
+// queue finite under adversarial seeds without affecting the distribution
+// measurably.
+constexpr double kMinInterarrival = 1e-6;
+}  // namespace
+
+FixedArrival::FixedArrival(double interval) : interval_(interval) {
+  if (interval <= 0.0) throw std::invalid_argument("FixedArrival: interval must be > 0");
+}
+
+double FixedArrival::next_interarrival(double /*now*/, util::Rng& /*rng*/) {
+  return interval_;
+}
+
+PoissonArrival::PoissonArrival(double mean_interarrival) : mean_(mean_interarrival) {
+  if (mean_ <= 0.0) throw std::invalid_argument("PoissonArrival: mean must be > 0");
+}
+
+double PoissonArrival::next_interarrival(double /*now*/, util::Rng& rng) {
+  return std::max(kMinInterarrival, rng.exponential(mean_));
+}
+
+MmppArrival::MmppArrival(double mean_state_a, double mean_state_b, double switch_period,
+                         double switch_prob)
+    : mean_a_(mean_state_a),
+      mean_b_(mean_state_b),
+      switch_period_(switch_period),
+      switch_prob_(switch_prob),
+      next_switch_check_(switch_period) {
+  if (mean_a_ <= 0.0 || mean_b_ <= 0.0 || switch_period_ <= 0.0 || switch_prob_ < 0.0 ||
+      switch_prob_ > 1.0) {
+    throw std::invalid_argument("MmppArrival: invalid parameters");
+  }
+}
+
+void MmppArrival::advance_state(double now, util::Rng& rng) {
+  // Perform every switch check that occurred up to `now`.
+  while (next_switch_check_ <= now) {
+    if (rng.bernoulli(switch_prob_)) in_state_b_ = !in_state_b_;
+    next_switch_check_ += switch_period_;
+  }
+}
+
+double MmppArrival::next_interarrival(double now, util::Rng& rng) {
+  advance_state(now, rng);
+  const double mean = in_state_b_ ? mean_b_ : mean_a_;
+  return std::max(kMinInterarrival, rng.exponential(mean));
+}
+
+TraceArrival::TraceArrival(RateTrace trace) : trace_(std::move(trace)) {}
+
+double TraceArrival::next_interarrival(double now, util::Rng& rng) {
+  const double mean = trace_.mean_interarrival_at(now);
+  return std::max(kMinInterarrival, rng.exponential(mean));
+}
+
+}  // namespace dosc::traffic

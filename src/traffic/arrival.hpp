@@ -1,0 +1,80 @@
+// Flow arrival processes (Sec. V-B of the paper).
+//
+// Four patterns are evaluated: fixed (deterministic every N steps), Poisson
+// (exponential inter-arrivals), a two-state Markov-modulated Poisson
+// process, and trace-driven arrivals. Each ingress node runs its own
+// process instance with its own RNG stream.
+#pragma once
+
+#include <memory>
+
+#include "traffic/trace.hpp"
+#include "util/rng.hpp"
+
+namespace dosc::traffic {
+
+/// A stream of flow inter-arrival times at one ingress node. Stateful
+/// (e.g., MMPP keeps its Markov state); `next_interarrival` advances it.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Time until the next flow arrives, given the current time. > 0.
+  virtual double next_interarrival(double now, util::Rng& rng) = 0;
+};
+
+/// Deterministic arrivals every `interval` ms.
+class FixedArrival final : public ArrivalProcess {
+ public:
+  explicit FixedArrival(double interval);
+  double next_interarrival(double now, util::Rng& rng) override;
+
+ private:
+  double interval_;
+};
+
+/// Poisson process: exponential inter-arrivals with the given mean.
+class PoissonArrival final : public ArrivalProcess {
+ public:
+  explicit PoissonArrival(double mean_interarrival);
+  double next_interarrival(double now, util::Rng& rng) override;
+
+ private:
+  double mean_;
+};
+
+/// Two-state Markov-modulated Poisson process. Every `switch_period` ms the
+/// state toggles with probability `switch_prob`; the states use different
+/// mean inter-arrival times (paper: 12 and 8, period 100, probability 5%).
+class MmppArrival final : public ArrivalProcess {
+ public:
+  MmppArrival(double mean_state_a, double mean_state_b, double switch_period,
+              double switch_prob);
+  double next_interarrival(double now, util::Rng& rng) override;
+
+  bool in_state_b() const noexcept { return in_state_b_; }
+
+ private:
+  void advance_state(double now, util::Rng& rng);
+
+  double mean_a_;
+  double mean_b_;
+  double switch_period_;
+  double switch_prob_;
+  bool in_state_b_ = false;
+  double next_switch_check_;
+};
+
+/// Trace-driven arrivals: exponential inter-arrivals whose mean follows a
+/// piecewise-constant RateTrace (a non-homogeneous Poisson approximation).
+class TraceArrival final : public ArrivalProcess {
+ public:
+  explicit TraceArrival(RateTrace trace);
+  double next_interarrival(double now, util::Rng& rng) override;
+
+  const RateTrace& trace() const noexcept { return trace_; }
+
+ private:
+  RateTrace trace_;
+};
+
+}  // namespace dosc::traffic

@@ -1,0 +1,77 @@
+// Declarative traffic specification used by scenario configs.
+//
+// A TrafficSpec names one of the four arrival patterns with its parameters
+// and acts as a factory for per-ingress ArrivalProcess instances (each
+// ingress node gets an independent, identically configured process).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "traffic/arrival.hpp"
+#include "util/json.hpp"
+
+namespace dosc::traffic {
+
+enum class ArrivalKind { kFixed, kPoisson, kMmpp, kTrace };
+
+const char* arrival_kind_name(ArrivalKind kind) noexcept;
+ArrivalKind parse_arrival_kind(std::string_view name);
+
+struct TrafficSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Fixed / Poisson mean inter-arrival (paper base: 10 time steps).
+  double mean_interarrival = 10.0;
+  /// MMPP parameters (paper: means 12/8, period 100, probability 5 %).
+  double mmpp_mean_a = 12.0;
+  double mmpp_mean_b = 8.0;
+  double mmpp_switch_period = 100.0;
+  double mmpp_switch_prob = 0.05;
+  /// Trace used when kind == kTrace; generated on demand if absent.
+  std::optional<RateTrace> trace;
+  /// Seed for the generated diurnal trace when none is supplied.
+  std::uint64_t trace_seed = 42;
+  double trace_horizon = 20000.0;
+
+  /// Instantiate the arrival process for one ingress node.
+  std::unique_ptr<ArrivalProcess> make_process() const;
+
+  util::Json to_json() const;
+  static TrafficSpec from_json(const util::Json& json);
+
+  static TrafficSpec fixed(double interval) {
+    TrafficSpec s;
+    s.kind = ArrivalKind::kFixed;
+    s.mean_interarrival = interval;
+    return s;
+  }
+  static TrafficSpec poisson(double mean) {
+    TrafficSpec s;
+    s.kind = ArrivalKind::kPoisson;
+    s.mean_interarrival = mean;
+    return s;
+  }
+  static TrafficSpec mmpp(double mean_a = 12.0, double mean_b = 8.0, double period = 100.0,
+                          double prob = 0.05) {
+    TrafficSpec s;
+    s.kind = ArrivalKind::kMmpp;
+    s.mmpp_mean_a = mean_a;
+    s.mmpp_mean_b = mean_b;
+    s.mmpp_switch_period = period;
+    s.mmpp_switch_prob = prob;
+    return s;
+  }
+  static TrafficSpec from_trace(RateTrace trace) {
+    TrafficSpec s;
+    s.kind = ArrivalKind::kTrace;
+    s.trace = std::move(trace);
+    return s;
+  }
+  /// Trace arrivals with a synthetic diurnal trace (substitution for the
+  /// paper's real-world SNDlib traces; see DESIGN.md).
+  static TrafficSpec diurnal_trace(std::uint64_t seed = 42, double horizon = 20000.0,
+                                   double base_interarrival = 10.0);
+};
+
+}  // namespace dosc::traffic

@@ -1,0 +1,56 @@
+// Minimal leveled logger for the dosc library.
+//
+// The simulator and trainers are hot loops; logging is therefore designed to
+// be zero-cost when the level is filtered out (a single atomic load). The
+// logger writes to stderr by default and is safe for concurrent use from the
+// parallel training environments.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dosc::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log level; messages below this level are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Parse a level name ("trace", "debug", "info", "warn", "error", "off").
+/// Unknown names map to kInfo.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view message);
+bool enabled(LogLevel level) noexcept;
+}  // namespace detail
+
+/// Stream-style log entry: Log(LogLevel::kInfo, "sim") << "flow " << id;
+/// The message is emitted (atomically, one line) on destruction.
+class Log {
+ public:
+  Log(LogLevel level, std::string_view component)
+      : level_(level), component_(component), enabled_(detail::enabled(level)) {}
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+  ~Log() {
+    if (enabled_) detail::emit(level_, component_, stream_.str());
+  }
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dosc::util

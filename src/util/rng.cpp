@@ -1,0 +1,19 @@
+#include "util/rng.hpp"
+
+namespace dosc::util {
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0 || weights.empty()) {
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+  double u = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace dosc::util

@@ -1,0 +1,41 @@
+// Streaming and batch statistics used by the metrics collectors and the
+// benchmark harnesses (mean/stddev over seeds, delay percentiles, ...).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dosc::util {
+
+/// Welford streaming mean/variance accumulator. O(1) memory; numerically
+/// stable for long simulations.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers over a sample vector.
+double mean(const std::vector<double>& xs) noexcept;
+double stddev(const std::vector<double>& xs) noexcept;
+/// Linear-interpolation percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::vector<double> xs, double p) noexcept;
+
+}  // namespace dosc::util

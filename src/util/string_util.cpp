@@ -1,0 +1,50 @@
+#include "util/string_util.hpp"
+
+#include <cstdio>
+
+namespace dosc::util {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace dosc::util

@@ -1,0 +1,27 @@
+// Small string helpers shared by the JSON parser, topology loaders, and the
+// benchmark harnesses (table formatting).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dosc::util {
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+/// printf-style double formatting with fixed precision.
+std::string format_double(double value, int precision);
+
+/// Left-pad / right-pad a cell to a given width for aligned table output.
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+}  // namespace dosc::util

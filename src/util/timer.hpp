@@ -1,0 +1,27 @@
+// Wall-clock timing helper for measuring per-decision inference latency
+// (Fig. 9b) and harness runtimes.
+#pragma once
+
+#include <chrono>
+
+namespace dosc::util {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_millis() const noexcept { return elapsed_seconds() * 1e3; }
+  double elapsed_micros() const noexcept { return elapsed_seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dosc::util

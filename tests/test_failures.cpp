@@ -1,0 +1,239 @@
+// Substrate failure injection: the robustness dimension behind the paper's
+// "no single point of failure" argument. Failed nodes black-hole traffic
+// and lose their instances; failed links carry nothing; recovery restores
+// capacity; and the adaptive distributed algorithms route around failures
+// using only the free-capacity observations.
+#include <gtest/gtest.h>
+
+#include "baselines/gcasp.hpp"
+#include "baselines/shortest_path.hpp"
+#include "core/observation.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace dosc::sim {
+namespace {
+
+using test::LambdaCoordinator;
+using test::ScriptedCoordinator;
+using test::TinyScenarioOptions;
+using test::tiny_scenario;
+
+Scenario failing_line(std::vector<FailureEvent> failures, double end_time = 100.0,
+                      double interarrival = 10.0) {
+  TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 2;
+  options.end_time = end_time;
+  options.interarrival = interarrival;
+  ScenarioConfig config;
+  config.ingress = options.ingress;
+  config.egress = options.egress;
+  config.end_time = options.end_time;
+  config.traffic = traffic::TrafficSpec::fixed(interarrival);
+  config.node_cap_lo = config.node_cap_hi = 10.0;
+  config.link_cap_lo = config.link_cap_hi = 10.0;
+  config.flows = {FlowTemplate{}};
+  config.failures = std::move(failures);
+  return Scenario(config, test::one_component_catalog(), test::line3());
+}
+
+TEST(Failures, ValidationRejectsBadIds) {
+  ScenarioConfig config;
+  config.ingress = {0};
+  config.egress = 2;
+  config.failures = {{FailureEvent::Kind::kNode, 99, 10.0, 5.0}};
+  EXPECT_THROW(Scenario(config, test::one_component_catalog(), test::line3()),
+               std::invalid_argument);
+  config.failures = {{FailureEvent::Kind::kLink, 7, 10.0, 5.0}};
+  EXPECT_THROW(Scenario(config, test::one_component_catalog(), test::line3()),
+               std::invalid_argument);
+}
+
+TEST(Failures, JsonRoundTrip) {
+  ScenarioConfig config;
+  config.failures = {{FailureEvent::Kind::kNode, 1, 50.0, 25.0},
+                     {FailureEvent::Kind::kLink, 0, 70.0, 0.0}};
+  const ScenarioConfig back = ScenarioConfig::from_json(config.to_json());
+  ASSERT_EQ(back.failures.size(), 2u);
+  EXPECT_EQ(back.failures[0].kind, FailureEvent::Kind::kNode);
+  EXPECT_EQ(back.failures[0].id, 1u);
+  EXPECT_DOUBLE_EQ(back.failures[0].start, 50.0);
+  EXPECT_DOUBLE_EQ(back.failures[0].duration, 25.0);
+  EXPECT_EQ(back.failures[1].kind, FailureEvent::Kind::kLink);
+}
+
+TEST(Failures, FlowsArrivingAtFailedNodeAreDropped) {
+  // Node 1 fails permanently at t=25. Flow 1 (t=10) clears it at t=17-19;
+  // flow 2 (t=20) finishes processing at t=25 and is forwarded into the
+  // dead node at t=27, where it dies.
+  const Scenario scenario =
+      failing_line({{FailureEvent::Kind::kNode, 1, 25.0, 0.0}}, /*end_time=*/25.0);
+  // Process at ingress, forward 0->1, then 1->2.
+  ScriptedCoordinator coordinator({0, 1, 2, 0, 1, 2});
+  Simulator sim(scenario, 1);
+  const SimMetrics metrics = sim.run(coordinator);
+  EXPECT_EQ(metrics.generated, 2u);
+  EXPECT_EQ(metrics.succeeded, 1u);
+  EXPECT_EQ(metrics.drops_by_reason[static_cast<std::size_t>(DropReason::kNodeFailed)], 1u);
+}
+
+TEST(Failures, ProcessingFlowsDieWithTheNode) {
+  // The flow starts processing at the ingress at t=10 (takes 5 ms); the
+  // ingress fails at t=12, mid-processing.
+  const Scenario scenario =
+      failing_line({{FailureEvent::Kind::kNode, 0, 12.0, 0.0}}, /*end_time=*/15.0);
+  ScriptedCoordinator coordinator({0});
+  Simulator sim(scenario, 1);
+  const SimMetrics metrics = sim.run(coordinator);
+  EXPECT_EQ(metrics.generated, 1u);
+  EXPECT_EQ(metrics.drops_by_reason[static_cast<std::size_t>(DropReason::kNodeFailed)], 1u);
+  EXPECT_EQ(metrics.succeeded, 0u);
+}
+
+TEST(Failures, FailedLinkDropsForwards) {
+  // Link 0 (between nodes 0 and 1) fails before the flow is forwarded.
+  const Scenario scenario =
+      failing_line({{FailureEvent::Kind::kLink, 0, 5.0, 0.0}}, /*end_time=*/15.0);
+  ScriptedCoordinator coordinator({0, 1});  // process, then forward into the dead link
+  Simulator sim(scenario, 1);
+  const SimMetrics metrics = sim.run(coordinator);
+  EXPECT_EQ(metrics.drops_by_reason[static_cast<std::size_t>(DropReason::kLinkFailed)], 1u);
+}
+
+TEST(Failures, RecoveryRestoresService) {
+  // Node 1 is down from t=5 to t=25. Flow 1 (t=10) dies there; flow 2
+  // (t=30) sails through after recovery.
+  const Scenario scenario =
+      failing_line({{FailureEvent::Kind::kNode, 1, 5.0, 20.0}}, /*end_time=*/35.0,
+                   /*interarrival=*/10.0);
+  std::size_t completed = 0;
+  std::size_t failed_drops = 0;
+  class Observer final : public FlowObserver {
+   public:
+    std::size_t* completed;
+    std::size_t* failed;
+    void on_completed(const Flow&, double) override { ++*completed; }
+    void on_dropped(const Flow&, DropReason reason, double) override {
+      if (reason == DropReason::kNodeFailed) ++*failed;
+    }
+  } observer;
+  observer.completed = &completed;
+  observer.failed = &failed_drops;
+  ScriptedCoordinator coordinator({0, 1, 2, 0, 1, 2, 0, 1, 2});
+  Simulator sim(scenario, 1);
+  const SimMetrics metrics = sim.run(coordinator, &observer);
+  EXPECT_EQ(metrics.generated, 3u);  // t = 10, 20, 30
+  EXPECT_GE(completed, 1u);
+  EXPECT_GE(failed_drops, 1u);
+  // The last flow (post-recovery) must be among the completed ones.
+  EXPECT_EQ(metrics.succeeded + metrics.dropped, 3u);
+}
+
+TEST(Failures, FailedNodeLosesItsInstancesAndCapacityObservation) {
+  // While node 1 is down, an agent at node 0 observing it must see
+  // non-positive free capacity and no instance.
+  const Scenario scenario =
+      failing_line({{FailureEvent::Kind::kNode, 1, 5.0, 50.0}}, /*end_time=*/15.0);
+  bool checked = false;
+  LambdaCoordinator coordinator(
+      [&](const Simulator& sim, const Flow& flow, net::NodeId node) -> int {
+        if (node == 0 && sim.time() > 5.0 && !checked) {
+          checked = true;
+          EXPECT_TRUE(sim.node_failed(1));
+          EXPECT_LE(sim.node_free(1), 0.0);
+          EXPECT_FALSE(sim.instance_available(1, 0));
+        }
+        if (!sim.fully_processed(flow)) return 0;
+        return node == 0 ? 1 : 2;
+      });
+  Simulator sim(scenario, 1);
+  sim.run(coordinator);
+  EXPECT_TRUE(checked);
+}
+
+TEST(Failures, GcaspRoutesAroundFailedFastPath) {
+  // Diamond: fast path A-B-D, slow path A-C-D. B fails; GCASP must take
+  // the slow path (its candidate B has free capacity <= 0 and the link
+  // check alone won't save it — the arrival at B would die — but GCASP
+  // skips B because it can't process there AND the deadline allows C).
+  net::Network network = test::diamond(10.0, 10.0);
+  for (net::NodeId v = 0; v < network.num_nodes(); ++v) network.set_node_capacity(v, 10.0);
+  ScenarioConfig config;
+  config.ingress = {0};
+  config.egress = 3;
+  config.end_time = 15.0;
+  config.traffic = traffic::TrafficSpec::fixed(10.0);
+  config.randomize_capacities = false;
+  config.flows = {FlowTemplate{}};
+  config.failures = {{FailureEvent::Kind::kLink, 0, 1.0, 0.0}};  // A-B link down
+  const Scenario scenario(config, test::one_component_catalog(), std::move(network));
+  baselines::GcaspCoordinator gcasp;
+  Simulator sim(scenario, 1);
+  const SimMetrics metrics = sim.run(gcasp);
+  EXPECT_EQ(metrics.succeeded, 1u);
+  // Took the slow detour: 5 ms processing + 6 ms path.
+  EXPECT_DOUBLE_EQ(metrics.e2e_delay.mean(), 11.0);
+}
+
+TEST(Failures, SpDoesNotRouteAroundFailures) {
+  // Same failed fast path: SP still follows the shortest path into the
+  // dead link and loses the flow — the brittleness failures expose.
+  net::Network network = test::diamond(10.0, 10.0);
+  for (net::NodeId v = 0; v < network.num_nodes(); ++v) network.set_node_capacity(v, 0.4);
+  ScenarioConfig config;
+  config.ingress = {0};
+  config.egress = 3;
+  config.end_time = 15.0;
+  config.traffic = traffic::TrafficSpec::fixed(10.0);
+  config.randomize_capacities = false;
+  config.flows = {FlowTemplate{}};
+  config.failures = {{FailureEvent::Kind::kLink, 0, 1.0, 0.0}};
+  const Scenario scenario(config, test::one_component_catalog(), std::move(network));
+  baselines::ShortestPathCoordinator sp;
+  Simulator sim(scenario, 1);
+  const SimMetrics metrics = sim.run(sp);
+  EXPECT_EQ(metrics.succeeded, 0u);
+  EXPECT_EQ(metrics.drops_by_reason[static_cast<std::size_t>(DropReason::kLinkFailed)], 1u);
+}
+
+TEST(Failures, DropReasonNames) {
+  EXPECT_STREQ(drop_reason_name(DropReason::kNodeFailed), "node_failed");
+  EXPECT_STREQ(drop_reason_name(DropReason::kLinkFailed), "link_failed");
+}
+
+TEST(ObservationMask, DisabledBlocksReadZero) {
+  TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 2;
+  options.end_time = 15.0;
+  const Scenario scenario =
+      tiny_scenario(test::line3(), test::one_component_catalog(), options);
+  core::ObservationMask mask;
+  mask.delays = false;
+  mask.instances = false;
+  core::ObservationBuilder full(scenario.network().max_degree());
+  core::ObservationBuilder masked(scenario.network().max_degree(), mask);
+  std::vector<double> full_obs;
+  std::vector<double> masked_obs;
+  LambdaCoordinator coordinator(
+      [&](const Simulator& sim, const Flow& flow, net::NodeId node) -> int {
+        if (full_obs.empty()) {
+          full_obs = full.build(sim, flow, node);
+          masked_obs = masked.build(sim, flow, node);
+        }
+        return 0;
+      });
+  Simulator sim(scenario, 1);
+  sim.run(coordinator);
+  ASSERT_EQ(full_obs.size(), masked_obs.size());
+  const std::size_t d = scenario.network().max_degree();
+  // F, R^L, R^V identical; D block and X block zeroed.
+  for (std::size_t i = 0; i < 3 + 2 * d; ++i) EXPECT_DOUBLE_EQ(masked_obs[i], full_obs[i]);
+  for (std::size_t i = 3 + 2 * d; i < masked_obs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(masked_obs[i], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dosc::sim

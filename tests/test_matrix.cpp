@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace dosc::nn {
+namespace {
+
+Matrix from_rows(std::initializer_list<std::initializer_list<double>> rows) {
+  Matrix m(rows.size(), rows.begin()->size());
+  std::size_t r = 0;
+  for (const auto& row : rows) {
+    std::size_t c = 0;
+    for (const double v : row) m(r, c++) = v;
+    ++r;
+  }
+  return m;
+}
+
+TEST(Matrix, MatmulKnownResult) {
+  const Matrix a = from_rows({{1, 2}, {3, 4}});
+  const Matrix b = from_rows({{5, 6}, {7, 8}});
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW(matmul_tn(Matrix(2, 3), Matrix(3, 2)), std::invalid_argument);
+  EXPECT_THROW(matmul_nt(Matrix(2, 3), Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Matrix, TransposedVariantsAgree) {
+  util::Rng rng(1);
+  Matrix a(4, 3);
+  Matrix b(4, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.normal(0, 1);
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.normal(0, 1);
+  // A^T B computed directly vs via explicit transpose.
+  const Matrix expected = matmul(transpose(a), b);
+  const Matrix got = matmul_tn(a, b);
+  ASSERT_EQ(got.rows(), expected.rows());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-12);
+  }
+  // A B^T.
+  Matrix c(5, 3);
+  for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] = rng.normal(0, 1);
+  const Matrix expected2 = matmul(a, transpose(c));
+  const Matrix got2 = matmul_nt(a, c);
+  for (std::size_t i = 0; i < got2.size(); ++i) {
+    EXPECT_NEAR(got2.data()[i], expected2.data()[i], 1e-12);
+  }
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a = from_rows({{1, 2}, {3, 4}});
+  const Matrix b = from_rows({{10, 20}, {30, 40}});
+  add_scaled(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 24.0);
+
+  Matrix e = from_rows({{2, 2}});
+  ema_update(e, from_rows({{4, 0}}), 0.75);
+  EXPECT_DOUBLE_EQ(e(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(e(0, 1), 1.5);
+
+  const Matrix h = hadamard(from_rows({{2, 3}}), from_rows({{4, 5}}));
+  EXPECT_DOUBLE_EQ(h(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(h(0, 1), 15.0);
+}
+
+TEST(Matrix, RowVectorAndColumnSums) {
+  Matrix a = from_rows({{1, 2}, {3, 4}});
+  add_row_vector(a, from_rows({{10, 20}}));
+  EXPECT_DOUBLE_EQ(a(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 24.0);
+  const Matrix s = column_sums(a);
+  EXPECT_DOUBLE_EQ(s(0, 0), 24.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), 46.0);
+}
+
+TEST(Matrix, Norms) {
+  const Matrix a = from_rows({{3, 4}});
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+  }
+}
+
+TEST(Matrix, XavierWithinLimit) {
+  util::Rng rng(2);
+  const Matrix w = Matrix::xavier(20, 30, rng);
+  const double limit = std::sqrt(6.0 / 50.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(w.data()[i]), limit);
+  }
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  // M = L L^T for L = [[2,0],[1,3]] -> M = [[4,2],[2,10]].
+  const Matrix m = from_rows({{4, 2}, {2, 10}});
+  const Matrix b = from_rows({{6}, {22}});
+  const Matrix x = cholesky_solve(m, b, 0.0);
+  // Check M x = b.
+  const Matrix back = matmul(m, x);
+  EXPECT_NEAR(back(0, 0), 6.0, 1e-10);
+  EXPECT_NEAR(back(1, 0), 22.0, 1e-10);
+}
+
+TEST(Cholesky, DampingActsAsRidge) {
+  const Matrix m = from_rows({{1, 0}, {0, 1}});
+  const Matrix b = from_rows({{2}, {4}});
+  const Matrix x = cholesky_solve(m, b, 1.0);  // (M + I) x = b -> x = b/2
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+}
+
+TEST(Cholesky, RecoversFromSingularByIncreasingDamping) {
+  // Singular matrix: rank 1. With damping escalation the solve must still
+  // return something finite.
+  const Matrix m = from_rows({{1, 1}, {1, 1}});
+  const Matrix b = from_rows({{1}, {1}});
+  const Matrix x = cholesky_solve(m, b, 0.0);
+  EXPECT_TRUE(std::isfinite(x(0, 0)));
+  EXPECT_TRUE(std::isfinite(x(1, 0)));
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(cholesky_solve(Matrix(2, 3), Matrix(2, 1), 0.0), std::invalid_argument);
+  EXPECT_THROW(cholesky_solve(Matrix(2, 2), Matrix(3, 1), 0.0), std::invalid_argument);
+}
+
+TEST(Cholesky, MultipleRightHandSides) {
+  const Matrix m = from_rows({{4, 2}, {2, 10}});
+  const Matrix b = from_rows({{6, 4}, {22, 2}});
+  const Matrix x = cholesky_solve(m, b, 0.0);
+  const Matrix back = matmul(m, x);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_NEAR(back.data()[i], b.data()[i], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace dosc::nn

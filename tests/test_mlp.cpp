@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace dosc::nn {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal(0.0, 1.0);
+  return m;
+}
+
+TEST(Mlp, ShapesAndConstruction) {
+  Mlp net({4, 8, 3}, Activation::kTanh, Activation::kLinear, 1);
+  EXPECT_EQ(net.input_size(), 4u);
+  EXPECT_EQ(net.output_size(), 3u);
+  EXPECT_EQ(net.layers().size(), 2u);
+  EXPECT_EQ(net.num_parameters(), 4u * 8 + 8 + 8 * 3 + 3);
+  EXPECT_THROW(Mlp({4}, Activation::kTanh, Activation::kLinear, 1), std::invalid_argument);
+}
+
+TEST(Mlp, ForwardMatchesPredict) {
+  util::Rng rng(3);
+  Mlp net({5, 7, 2}, Activation::kTanh, Activation::kLinear, 7);
+  const Matrix x = random_matrix(4, 5, rng);
+  const Matrix a = net.forward(x);
+  const Matrix b = net.predict(x);
+  ASSERT_EQ(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Mlp, PredictRowMatchesPredict) {
+  util::Rng rng(4);
+  Mlp net({6, 9, 4}, Activation::kTanh, Activation::kLinear, 11);
+  const Matrix x = random_matrix(3, 6, rng);
+  const Matrix full = net.predict(x);
+  Mlp::Scratch scratch;
+  std::vector<double> out;
+  for (std::size_t r = 0; r < 3; ++r) {
+    net.predict_row(x.row(r), out, scratch);
+    ASSERT_EQ(out.size(), 4u);
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(out[j], full(r, j), 1e-12);
+  }
+  EXPECT_THROW(net.predict_row(std::vector<double>(5), out, scratch), std::invalid_argument);
+}
+
+class MlpGradientCheck : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(MlpGradientCheck, NumericalGradientsMatchBackprop) {
+  // Central-difference check of d(loss)/d(theta) where loss = sum(out * g)
+  // for a fixed random g, so d(loss)/d(out) = g.
+  util::Rng rng(5);
+  Mlp net({3, 6, 5, 2}, GetParam(), Activation::kLinear, 17);
+  const Matrix x = random_matrix(4, 3, rng);
+  const Matrix g = random_matrix(4, 2, rng);
+
+  net.zero_grad();
+  net.forward(x);
+  net.backward(g);
+
+  std::vector<double> params = net.get_parameters();
+  // Collect analytic grads in flat order (weights then bias per layer).
+  std::vector<double> analytic;
+  for (const DenseLayer& layer : net.layers()) {
+    analytic.insert(analytic.end(), layer.grad_weights.data(),
+                    layer.grad_weights.data() + layer.grad_weights.size());
+    analytic.insert(analytic.end(), layer.grad_bias.data(),
+                    layer.grad_bias.data() + layer.grad_bias.size());
+  }
+  ASSERT_EQ(analytic.size(), params.size());
+
+  const double eps = 1e-6;
+  util::Rng pick(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t i = static_cast<std::size_t>(
+        pick.uniform_int(0, static_cast<std::int64_t>(params.size()) - 1));
+    std::vector<double> plus = params;
+    std::vector<double> minus = params;
+    plus[i] += eps;
+    minus[i] -= eps;
+    net.set_parameters(plus);
+    const Matrix out_plus = net.predict(x);
+    net.set_parameters(minus);
+    const Matrix out_minus = net.predict(x);
+    double loss_plus = 0.0;
+    double loss_minus = 0.0;
+    for (std::size_t k = 0; k < out_plus.size(); ++k) {
+      loss_plus += out_plus.data()[k] * g.data()[k];
+      loss_minus += out_minus.data()[k] * g.data()[k];
+    }
+    const double numeric = (loss_plus - loss_minus) / (2.0 * eps);
+    EXPECT_NEAR(numeric, analytic[i], 1e-4 * std::max(1.0, std::abs(analytic[i])))
+        << "parameter " << i;
+  }
+  net.set_parameters(params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, MlpGradientCheck,
+                         ::testing::Values(Activation::kTanh, Activation::kRelu,
+                                           Activation::kLinear),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Activation::kTanh: return "tanh";
+                             case Activation::kRelu: return "relu";
+                             default: return "linear";
+                           }
+                         });
+
+TEST(Mlp, BackwardWithoutForwardThrows) {
+  Mlp net({2, 3, 1}, Activation::kTanh, Activation::kLinear, 1);
+  EXPECT_THROW(net.backward(Matrix(1, 1)), std::logic_error);
+}
+
+TEST(Mlp, GradAccumulatesAcrossBackward) {
+  util::Rng rng(8);
+  Mlp net({2, 3, 1}, Activation::kTanh, Activation::kLinear, 2);
+  const Matrix x = random_matrix(2, 2, rng);
+  const Matrix g = random_matrix(2, 1, rng);
+  net.zero_grad();
+  net.forward(x);
+  net.backward(g);
+  const double norm_once = net.grad_norm();
+  net.forward(x);
+  net.backward(g);
+  EXPECT_NEAR(net.grad_norm(), 2.0 * norm_once, 1e-9);
+  net.zero_grad();
+  EXPECT_DOUBLE_EQ(net.grad_norm(), 0.0);
+}
+
+TEST(Mlp, ClipGradNorm) {
+  util::Rng rng(9);
+  Mlp net({2, 4, 2}, Activation::kTanh, Activation::kLinear, 3);
+  net.zero_grad();
+  net.forward(random_matrix(8, 2, rng));
+  net.backward(random_matrix(8, 2, rng));
+  net.clip_grad_norm(0.1);
+  EXPECT_LE(net.grad_norm(), 0.1 + 1e-9);
+  // Clipping below the current norm is a no-op.
+  const double before = net.grad_norm();
+  net.clip_grad_norm(10.0);
+  EXPECT_DOUBLE_EQ(net.grad_norm(), before);
+}
+
+TEST(Mlp, ParameterRoundTrip) {
+  Mlp a({3, 5, 2}, Activation::kTanh, Activation::kLinear, 21);
+  Mlp b({3, 5, 2}, Activation::kTanh, Activation::kLinear, 99);
+  b.set_parameters(a.get_parameters());
+  util::Rng rng(10);
+  const Matrix x = random_matrix(2, 3, rng);
+  const Matrix ya = a.predict(x);
+  const Matrix yb = b.predict(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_DOUBLE_EQ(ya.data()[i], yb.data()[i]);
+  EXPECT_THROW(b.set_parameters(std::vector<double>(3)), std::invalid_argument);
+}
+
+TEST(Mlp, DeterministicInitialisationPerSeed) {
+  Mlp a({3, 4, 2}, Activation::kTanh, Activation::kLinear, 5);
+  Mlp b({3, 4, 2}, Activation::kTanh, Activation::kLinear, 5);
+  const auto pa = a.get_parameters();
+  const auto pb = b.get_parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(Mlp, TanhOutputsBounded) {
+  util::Rng rng(11);
+  Mlp net({4, 8, 8}, Activation::kTanh, Activation::kTanh, 13);
+  const Matrix y = net.predict(random_matrix(16, 4, rng));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_GE(y.data()[i], -1.0);
+    EXPECT_LE(y.data()[i], 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dosc::nn

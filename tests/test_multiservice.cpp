@@ -1,0 +1,127 @@
+// Multiple services (the paper: "we successfully tested our approach with
+// multiple services" — Sec. V-A1). Two chains of different lengths share
+// the substrate; the DRL observation normalises progress by each flow's own
+// chain length, so one policy serves both.
+#include <gtest/gtest.h>
+
+#include "core/observation.hpp"
+#include "core/trainer.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace dosc::sim {
+namespace {
+
+/// Catalog with a 1-component "cache" service and a 3-component "video"
+/// service sharing component implementations.
+ServiceCatalog two_service_catalog() {
+  ServiceCatalog catalog;
+  const ComponentId fw = catalog.add_component({.name = "fw", .processing_delay = 5.0});
+  const ComponentId ids = catalog.add_component({.name = "ids", .processing_delay = 5.0});
+  const ComponentId video = catalog.add_component({.name = "video", .processing_delay = 5.0});
+  catalog.add_service({"video", {fw, ids, video}});
+  catalog.add_service({"cache", {fw}});
+  return catalog;
+}
+
+Scenario two_service_scenario(double end_time) {
+  ScenarioConfig config;
+  config.ingress = {0};
+  config.egress = 2;
+  config.end_time = end_time;
+  config.traffic = traffic::TrafficSpec::poisson(8.0);
+  config.node_cap_lo = config.node_cap_hi = 10.0;
+  config.link_cap_lo = config.link_cap_hi = 10.0;
+  config.flows = {FlowTemplate{.service = 0, .deadline = 100.0, .weight = 1.0},
+                  FlowTemplate{.service = 1, .deadline = 100.0, .weight = 1.0}};
+  return Scenario(config, two_service_catalog(), test::line3());
+}
+
+TEST(MultiService, BothChainsCompleteUnderGreedyProcessing) {
+  const Scenario scenario = two_service_scenario(600.0);
+  std::size_t short_flows = 0;
+  std::size_t long_flows = 0;
+  test::LambdaCoordinator coordinator(
+      [&](const Simulator& sim, const Flow& flow, net::NodeId node) -> int {
+        if (flow.chain_pos == 0 && node == flow.ingress) {
+          (sim.service_of(flow).length() == 1 ? short_flows : long_flows) += 1;
+        }
+        if (!sim.fully_processed(flow)) return 0;
+        return node == 0 ? 1 : 2;
+      });
+  Simulator sim(scenario, 3);
+  const SimMetrics metrics = sim.run(coordinator);
+  EXPECT_GT(short_flows, 10u);
+  EXPECT_GT(long_flows, 10u);
+  EXPECT_DOUBLE_EQ(metrics.success_ratio(), 1.0);
+  // Short-chain flows finish in 5 + 4 ms, long ones in 15 + 4 ms.
+  // (Poisson arrival times are irrational, so delays carry float dust.)
+  EXPECT_NEAR(metrics.e2e_delay.min(), 9.0, 1e-9);
+  EXPECT_NEAR(metrics.e2e_delay.max(), 19.0, 1e-9);
+}
+
+TEST(MultiService, ObservationProgressIsPerChain) {
+  const Scenario scenario = two_service_scenario(100.0);
+  core::ObservationBuilder builder(scenario.network().max_degree());
+  std::vector<std::pair<std::size_t, double>> progress;  // (chain length, p_hat)
+  test::LambdaCoordinator coordinator(
+      [&](const Simulator& sim, const Flow& flow, net::NodeId node) -> int {
+        progress.emplace_back(sim.service_of(flow).length(),
+                              builder.build(sim, flow, node)[0]);
+        if (!sim.fully_processed(flow)) return 0;
+        return node == 0 ? 1 : 2;
+      });
+  Simulator sim(scenario, 4);
+  sim.run(coordinator);
+  bool saw_third = false;
+  for (const auto& [len, p] : progress) {
+    if (len == 1) {
+      // Single-component service: progress is 0 or 1, never fractional.
+      EXPECT_TRUE(p == 0.0 || p == 1.0);
+    } else if (p > 0.3 && p < 0.4) {
+      saw_third = true;  // 1/3 progress only exists for the long chain
+    }
+  }
+  EXPECT_TRUE(saw_third);
+}
+
+TEST(MultiService, DrlTrainsAcrossServiceMix) {
+  const Scenario scenario = two_service_scenario(500.0);
+  core::TrainingConfig config;
+  config.hidden = {16, 16};
+  config.num_seeds = 1;
+  config.parallel_envs = 2;
+  config.iterations = 40;
+  config.train_episode_time = 500.0;
+  config.eval_episodes = 2;
+  config.eval_episode_time = 500.0;
+  const core::TrainedPolicy policy = core::train_distributed_policy(scenario, config);
+  const rl::ActorCritic net = policy.instantiate();
+  const core::EvalResult eval =
+      core::evaluate_policy(scenario, net, config.reward, 2, 500.0, 99);
+  EXPECT_GT(eval.success_ratio, 0.5);
+}
+
+TEST(MultiService, InstanceSharingAcrossServices) {
+  // Both services start with the same "fw" component: one instance at the
+  // ingress serves flows of both services (x is per component, not per
+  // service).
+  const Scenario scenario = two_service_scenario(60.0);
+  std::size_t fw_instances_seen = 0;
+  test::LambdaCoordinator coordinator(
+      [&](const Simulator& sim, const Flow& flow, net::NodeId node) -> int {
+        if (!sim.fully_processed(flow)) {
+          if (sim.requested_component(flow) == 0 && sim.instance_available(node, 0)) {
+            ++fw_instances_seen;
+          }
+          return 0;
+        }
+        return node == 0 ? 1 : 2;
+      });
+  Simulator sim(scenario, 5);
+  sim.run(coordinator);
+  EXPECT_GT(fw_instances_seen, 0u);
+}
+
+}  // namespace
+}  // namespace dosc::sim

@@ -1,0 +1,240 @@
+// The POMDP observation adapter (Sec. IV-B1): layout, normalisation to
+// [-1,1], dummy-neighbour padding, and the semantics of every part
+// (F_f, R^L, R^V, D, X) on hand-checkable networks.
+#include <gtest/gtest.h>
+
+#include "core/observation.hpp"
+#include "test_helpers.hpp"
+
+namespace dosc::core {
+namespace {
+
+using test::LambdaCoordinator;
+using test::TinyScenarioOptions;
+using test::tiny_scenario;
+
+TEST(Observation, DimFormula) {
+  EXPECT_EQ(observation_dim(1), 8u);
+  EXPECT_EQ(observation_dim(3), 16u);   // Abilene
+  EXPECT_EQ(observation_dim(13), 56u);  // BT Europe
+  EXPECT_THROW(ObservationBuilder(0), std::invalid_argument);
+}
+
+/// Runs one scripted episode on line3 and captures the observation of the
+/// first decision at the ingress (node 0, degree 1, padded to degree 2).
+std::vector<double> first_observation(TinyScenarioOptions options,
+                                      sim::ServiceCatalog catalog) {
+  options.end_time = std::min(options.end_time, options.interarrival + 1.0);
+  const sim::Scenario scenario = tiny_scenario(test::line3(), std::move(catalog), options);
+  ObservationBuilder builder(scenario.network().max_degree());
+  std::vector<double> captured;
+  LambdaCoordinator coordinator(
+      [&](const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) -> int {
+        if (captured.empty()) captured = builder.build(sim, flow, node);
+        return 0;
+      });
+  sim::Simulator sim(scenario, 1);
+  sim.run(coordinator);
+  return captured;
+}
+
+TEST(Observation, LayoutAndPaddingAtDegreeOneNode) {
+  TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 2;
+  options.node_capacity = 2.0;
+  options.link_cap_lo = options.link_cap_hi = 4.0;
+  options.deadline = 100.0;
+  const std::vector<double> obs =
+      first_observation(options, test::one_component_catalog());
+  // Delta_G = 2 on line3 -> dim = 12.
+  ASSERT_EQ(obs.size(), 12u);
+
+  // F_f: fresh flow -> progress 0, full deadline budget.
+  EXPECT_DOUBLE_EQ(obs[0], 0.0);
+  EXPECT_DOUBLE_EQ(obs[1], 1.0);
+
+  // R^L (2 slots): free link 4 - rate 1 = 3, normalised by max cap 4.
+  EXPECT_DOUBLE_EQ(obs[2], 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(obs[3], kDummy);  // padded second neighbour
+
+  // R^V (3 slots): self, neighbour(node 1), pad. free 2 - demand 1 over
+  // max node cap 2.
+  EXPECT_DOUBLE_EQ(obs[4], 0.5);
+  EXPECT_DOUBLE_EQ(obs[5], 0.5);
+  EXPECT_DOUBLE_EQ(obs[6], kDummy);
+
+  // D (2 slots): remaining 100, delay via node1 to egress = 2 + 2 = 4.
+  EXPECT_DOUBLE_EQ(obs[7], (100.0 - 4.0) / 100.0);
+  EXPECT_DOUBLE_EQ(obs[8], kDummy);
+
+  // X (3 slots): no instances anywhere yet; pad -1.
+  EXPECT_DOUBLE_EQ(obs[9], 0.0);
+  EXPECT_DOUBLE_EQ(obs[10], 0.0);
+  EXPECT_DOUBLE_EQ(obs[11], kDummy);
+}
+
+TEST(Observation, NegativeWhenLinkCannotCarryFlow) {
+  TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 2;
+  options.link_cap_lo = options.link_cap_hi = 0.5;  // < rate 1
+  const std::vector<double> obs =
+      first_observation(options, test::one_component_catalog());
+  EXPECT_LT(obs[2], 0.0);
+  EXPECT_GE(obs[2], -1.0);
+}
+
+TEST(Observation, NegativeWhenNodeCannotProcess) {
+  TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 2;
+  options.node_capacity = 0.25;  // < demand 1
+  const std::vector<double> obs =
+      first_observation(options, test::one_component_catalog());
+  EXPECT_LT(obs[4], 0.0);
+  EXPECT_GE(obs[4], -1.0);
+}
+
+TEST(Observation, AllValuesWithinUnitRange) {
+  // Property over a full noisy episode on Abilene with random capacities:
+  // every observation coordinate stays in [-1, 1].
+  const sim::Scenario scenario =
+      sim::make_base_scenario(3, traffic::TrafficSpec::poisson(5.0), 40.0, "abilene", 800.0);
+  ObservationBuilder builder(scenario.network().max_degree());
+  util::Rng rng(3);
+  std::size_t checked = 0;
+  LambdaCoordinator coordinator(
+      [&](const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) -> int {
+        const auto& obs = builder.build(sim, flow, node);
+        EXPECT_EQ(obs.size(), observation_dim(scenario.network().max_degree()));
+        for (const double o : obs) {
+          EXPECT_GE(o, -1.0);
+          EXPECT_LE(o, 1.0);
+        }
+        ++checked;
+        return static_cast<int>(rng.uniform_int(0, 3));
+      });
+  sim::Simulator sim(scenario, 11);
+  sim.run(coordinator);
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(Observation, ProgressAndDeadlineEvolve) {
+  // Three-component chain: p_hat goes 0 -> 1/3 -> 2/3 -> 1 as instances
+  // are traversed, and tau_hat strictly decreases over time.
+  TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 2;
+  options.end_time = 15.0;
+  const sim::Scenario scenario =
+      tiny_scenario(test::line3(), sim::make_video_streaming_catalog(), options);
+  ObservationBuilder builder(scenario.network().max_degree());
+  std::vector<double> progress;
+  std::vector<double> deadline_frac;
+  LambdaCoordinator coordinator(
+      [&](const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) -> int {
+        const auto& obs = builder.build(sim, flow, node);
+        progress.push_back(obs[0]);
+        deadline_frac.push_back(obs[1]);
+        if (!sim.fully_processed(flow)) return 0;  // process everything here
+        // Then head towards the egress along real neighbours.
+        const net::NodeId hop = sim.shortest_paths().next_hop(node, flow.egress);
+        const auto& nb = sim.network().neighbors(node);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          if (nb[i].node == hop) return static_cast<int>(i + 1);
+        }
+        return 0;
+      });
+  sim::Simulator sim(scenario, 2);
+  const sim::SimMetrics metrics = sim.run(coordinator);
+  ASSERT_GE(progress.size(), 4u);
+  EXPECT_DOUBLE_EQ(progress[0], 0.0);
+  EXPECT_NEAR(progress[1], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(progress[2], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(progress[3], 1.0);
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_LT(deadline_frac[i], deadline_frac[i - 1]);
+  EXPECT_GE(metrics.succeeded, 1u);
+}
+
+TEST(Observation, InstanceFlagAppearsAfterPlacement) {
+  // After the first flow places an instance at the ingress, a second flow
+  // arriving while it is warm must observe X[self] = 1.
+  TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 2;
+  options.interarrival = 7.0;
+  options.end_time = 15.0;
+  const sim::Scenario scenario =
+      tiny_scenario(test::line3(), test::one_component_catalog(5.0, 0.0, 60.0), options);
+  ObservationBuilder builder(scenario.network().max_degree());
+  std::vector<double> x_self;
+  LambdaCoordinator coordinator(
+      [&](const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) -> int {
+        if (!sim.fully_processed(flow)) {
+          const auto& obs = builder.build(sim, flow, node);
+          x_self.push_back(obs[9]);
+          return 0;
+        }
+        return node == 0 ? 1 : 2;
+      });
+  sim::Simulator sim(scenario, 1);
+  sim.run(coordinator);
+  ASSERT_EQ(x_self.size(), 2u);
+  EXPECT_DOUBLE_EQ(x_self[0], 0.0);
+  EXPECT_DOUBLE_EQ(x_self[1], 1.0);
+}
+
+TEST(Observation, FullyProcessedFlowSeesZeroDemandAndNoInstances) {
+  TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 2;
+  options.end_time = 15.0;
+  const sim::Scenario scenario =
+      tiny_scenario(test::line3(), test::one_component_catalog(), options);
+  ObservationBuilder builder(scenario.network().max_degree());
+  std::vector<double> done_obs;
+  LambdaCoordinator coordinator(
+      [&](const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) -> int {
+        if (sim.fully_processed(flow)) {
+          if (done_obs.empty()) done_obs = builder.build(sim, flow, node);
+          return node == 0 ? 1 : 2;
+        }
+        return 0;
+      });
+  sim::Simulator sim(scenario, 1);
+  sim.run(coordinator);
+  ASSERT_EQ(done_obs.size(), 12u);
+  EXPECT_DOUBLE_EQ(done_obs[0], 1.0);  // progress complete
+  // X: real entries are 0 even though an instance exists at this node —
+  // there is no "requested component" any more.
+  EXPECT_DOUBLE_EQ(done_obs[9], 0.0);
+  EXPECT_DOUBLE_EQ(done_obs[10], 0.0);
+}
+
+TEST(Observation, RejectsNodeAboveLayoutDegree) {
+  // Builder sized for degree 1 must refuse a degree-2 node.
+  TinyScenarioOptions options;
+  options.ingress = {1};  // node 1 has two neighbours
+  options.egress = 2;
+  options.end_time = 15.0;
+  const sim::Scenario scenario =
+      tiny_scenario(test::line3(), test::one_component_catalog(), options);
+  ObservationBuilder small(1);
+  bool threw = false;
+  LambdaCoordinator coordinator(
+      [&](const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) -> int {
+        try {
+          small.build(sim, flow, node);
+        } catch (const std::invalid_argument&) {
+          threw = true;
+        }
+        return 0;
+      });
+  sim::Simulator sim(scenario, 1);
+  sim.run(coordinator);
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace dosc::core

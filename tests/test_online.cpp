@@ -1,0 +1,123 @@
+// Continuous online training (Sec. IV-C1 extension): the deployed policy
+// keeps learning from live traffic and adapts to scenario drift.
+#include <gtest/gtest.h>
+
+#include "core/online.hpp"
+#include "core/trainer.hpp"
+#include "test_helpers.hpp"
+
+namespace dosc::core {
+namespace {
+
+using test::TinyScenarioOptions;
+using test::tiny_scenario;
+
+sim::Scenario easy_scenario(double end_time) {
+  TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 2;
+  options.end_time = end_time;
+  options.interarrival = 10.0;
+  return tiny_scenario(test::line3(), test::one_component_catalog(), options);
+}
+
+rl::ActorCritic fresh_policy(const sim::Scenario& scenario, std::uint64_t seed) {
+  rl::ActorCriticConfig config;
+  config.obs_dim = observation_dim(scenario.network().max_degree());
+  config.num_actions = scenario.num_actions();
+  config.hidden = {16, 16};
+  config.seed = seed;
+  return rl::ActorCritic(config);
+}
+
+TEST(OnlineTraining, PerformsUpdatesDuringEpisode) {
+  const sim::Scenario scenario = easy_scenario(3000.0);
+  OnlineTrainerConfig config;
+  config.update_period = 250.0;
+  config.min_batch = 16;
+  OnlineTrainingCoordinator coordinator(fresh_policy(scenario, 1), config,
+                                        scenario.network().max_degree(), util::Rng(2));
+  sim::Simulator sim(scenario, 3);
+  const sim::SimMetrics metrics = sim.run(coordinator, &coordinator);
+  EXPECT_GT(metrics.generated, 100u);
+  EXPECT_GT(coordinator.updates_done(), 3u);
+}
+
+TEST(OnlineTraining, ImprovesARandomPolicyInPlace) {
+  // Long live episode starting from a random policy: the success ratio of
+  // the final adapted policy (greedy) must clearly beat the initial one.
+  const sim::Scenario scenario = easy_scenario(20000.0);
+  const rl::ActorCritic initial = fresh_policy(scenario, 4);
+
+  const EvalResult before =
+      evaluate_policy(scenario, initial, RewardConfig{}, 2, 500.0, 71);
+
+  OnlineTrainerConfig config;
+  config.update_period = 200.0;
+  config.min_batch = 32;
+  config.updater.lr_decay_updates = 100;
+  rl::ActorCritic start = fresh_policy(scenario, 4);
+  OnlineTrainingCoordinator coordinator(std::move(start), config,
+                                        scenario.network().max_degree(), util::Rng(5));
+  sim::Simulator sim(scenario, 6);
+  sim.run(coordinator, &coordinator);
+
+  const EvalResult after =
+      evaluate_policy(scenario, coordinator.policy(), RewardConfig{}, 2, 500.0, 71);
+  EXPECT_GT(after.success_ratio, before.success_ratio + 0.2);
+}
+
+TEST(OnlineTraining, SkipsUpdatesBelowMinBatch) {
+  // With a huge min_batch nothing ever updates: the policy must remain
+  // byte-identical.
+  const sim::Scenario scenario = easy_scenario(1000.0);
+  OnlineTrainerConfig config;
+  config.update_period = 100.0;
+  config.min_batch = 1000000;
+  rl::ActorCritic start = fresh_policy(scenario, 7);
+  const std::vector<double> before = start.get_parameters();
+  OnlineTrainingCoordinator coordinator(std::move(start), config,
+                                        scenario.network().max_degree(), util::Rng(8));
+  sim::Simulator sim(scenario, 9);
+  sim.run(coordinator, &coordinator);
+  EXPECT_EQ(coordinator.updates_done(), 0u);
+  const std::vector<double> after = coordinator.policy().get_parameters();
+  for (std::size_t i = 0; i < before.size(); ++i) EXPECT_DOUBLE_EQ(before[i], after[i]);
+}
+
+TEST(OnlineTraining, AdaptsAnOfflinePolicyToDrift) {
+  // Offline-train at low load, then let online training adapt during a
+  // higher-load live episode; the adapted policy must not be (much) worse
+  // on the new load than the incumbent was, and typically improves.
+  const sim::Scenario train_scenario = sim::make_base_scenario(2);
+  TrainingConfig offline;
+  offline.hidden = {16, 16};
+  offline.num_seeds = 1;
+  offline.parallel_envs = 2;
+  offline.iterations = 40;
+  offline.train_episode_time = 500.0;
+  offline.eval_episodes = 1;
+  offline.eval_episode_time = 500.0;
+  const TrainedPolicy incumbent = train_distributed_policy(train_scenario, offline);
+
+  const sim::Scenario drifted = sim::make_base_scenario(4);
+  const rl::ActorCritic incumbent_net = incumbent.instantiate();
+  const EvalResult before =
+      evaluate_policy(drifted, incumbent_net, RewardConfig{}, 2, 1000.0, 91);
+
+  OnlineTrainerConfig config;
+  config.update_period = 300.0;
+  const sim::Scenario live = scenario_with_end_time(drifted, 15000.0);
+  OnlineTrainingCoordinator coordinator(incumbent.instantiate(), config,
+                                        drifted.network().max_degree(), util::Rng(10));
+  sim::Simulator sim(live, 11);
+  sim.run(coordinator, &coordinator);
+  EXPECT_GT(coordinator.updates_done(), 10u);
+
+  const EvalResult after =
+      evaluate_policy(drifted, coordinator.policy(), RewardConfig{}, 2, 1000.0, 91);
+  EXPECT_GT(after.success_ratio, before.success_ratio - 0.1);
+}
+
+}  // namespace
+}  // namespace dosc::core

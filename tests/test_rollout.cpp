@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/rollout.hpp"
+
+namespace dosc::rl {
+namespace {
+
+ActorCritic make_net() {
+  ActorCriticConfig config;
+  config.obs_dim = 3;
+  config.num_actions = 2;
+  config.hidden = {4};
+  config.seed = 1;
+  return ActorCritic(config);
+}
+
+std::vector<double> obs(double v) { return {v, v, v}; }
+
+TEST(TrajectoryBuffer, TerminalDiscountedReturns) {
+  const ActorCritic net = make_net();
+  TrajectoryBuffer buffer(0.5);
+  buffer.record_decision(1, obs(0.1), 0);
+  buffer.record_reward(1, 1.0);
+  buffer.record_decision(1, obs(0.2), 1);
+  buffer.record_reward(1, 2.0);
+  buffer.record_decision(1, obs(0.3), 0);
+  buffer.record_reward(1, 4.0);
+  buffer.finish(1);
+  EXPECT_EQ(buffer.completed_steps(), 3u);
+
+  const Batch batch = buffer.drain(net, 3);
+  ASSERT_EQ(batch.size(), 3u);
+  // Returns with gamma 0.5: R2 = 4; R1 = 2 + 0.5*4 = 4; R0 = 1 + 0.5*4 = 3.
+  EXPECT_DOUBLE_EQ(batch.returns[2], 4.0);
+  EXPECT_DOUBLE_EQ(batch.returns[1], 4.0);
+  EXPECT_DOUBLE_EQ(batch.returns[0], 3.0);
+  EXPECT_EQ(batch.actions[1], 1);
+  EXPECT_DOUBLE_EQ(batch.obs(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(batch.obs(2, 2), 0.3);
+  // Drained: next drain is empty.
+  EXPECT_EQ(buffer.drain(net, 3).size(), 0u);
+}
+
+TEST(TrajectoryBuffer, RewardCreditsMostRecentDecision) {
+  const ActorCritic net = make_net();
+  TrajectoryBuffer buffer(1.0);
+  buffer.record_decision(7, obs(0.0), 0);
+  buffer.record_reward(7, 1.0);
+  buffer.record_reward(7, 2.0);  // both accrue to step 0
+  buffer.record_decision(7, obs(1.0), 1);
+  buffer.record_reward(7, 5.0);
+  buffer.finish(7);
+  const Batch batch = buffer.drain(net, 3);
+  ASSERT_EQ(batch.size(), 2u);
+  // gamma=1: R0 = (1+2) + 5 = 8, R1 = 5.
+  EXPECT_DOUBLE_EQ(batch.returns[0], 8.0);
+  EXPECT_DOUBLE_EQ(batch.returns[1], 5.0);
+}
+
+TEST(TrajectoryBuffer, RewardBeforeAnyDecisionIgnored) {
+  const ActorCritic net = make_net();
+  TrajectoryBuffer buffer(0.9);
+  buffer.record_reward(3, 100.0);  // no decision yet: dropped
+  buffer.record_decision(3, obs(0.5), 0);
+  buffer.record_reward(3, 1.0);
+  buffer.finish(3);
+  const Batch batch = buffer.drain(net, 3);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_DOUBLE_EQ(batch.returns[0], 1.0);
+}
+
+TEST(TrajectoryBuffer, FinishUnknownKeyIsNoOp) {
+  const ActorCritic net = make_net();
+  TrajectoryBuffer buffer(0.9);
+  buffer.finish(99);
+  EXPECT_EQ(buffer.drain(net, 3).size(), 0u);
+}
+
+TEST(TrajectoryBuffer, InterleavedFlowsStaySeparate) {
+  const ActorCritic net = make_net();
+  TrajectoryBuffer buffer(1.0);
+  buffer.record_decision(1, obs(0.1), 0);
+  buffer.record_decision(2, obs(0.9), 1);
+  buffer.record_reward(1, 10.0);
+  buffer.record_reward(2, -10.0);
+  buffer.finish(1);
+  buffer.finish(2);
+  const Batch batch = buffer.drain(net, 3);
+  ASSERT_EQ(batch.size(), 2u);
+  // Flow 1's trajectory was finished first.
+  EXPECT_DOUBLE_EQ(batch.returns[0], 10.0);
+  EXPECT_DOUBLE_EQ(batch.returns[1], -10.0);
+}
+
+TEST(TrajectoryBuffer, TruncationBootstrapsWithCritic) {
+  const ActorCritic net = make_net();
+  TrajectoryBuffer buffer(0.5);
+  const std::vector<double> last = obs(0.7);
+  buffer.record_decision(4, obs(0.2), 0);
+  buffer.record_reward(4, 1.0);
+  buffer.record_decision(4, last, 1);
+  buffer.record_reward(4, 2.0);
+  EXPECT_EQ(buffer.open_trajectories(), 1u);
+  buffer.truncate_all();
+  EXPECT_EQ(buffer.open_trajectories(), 0u);
+
+  const double v = net.value(last);
+  const Batch batch = buffer.drain(net, 3);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_NEAR(batch.returns[1], 2.0 + 0.5 * v, 1e-12);
+  EXPECT_NEAR(batch.returns[0], 1.0 + 0.5 * batch.returns[1], 1e-12);
+}
+
+TEST(TrajectoryBuffer, DrainChecksObsDim) {
+  const ActorCritic net = make_net();
+  TrajectoryBuffer buffer(0.9);
+  buffer.record_decision(1, {0.1, 0.2}, 0);  // wrong size (2 != 3)
+  buffer.finish(1);
+  EXPECT_THROW(buffer.drain(net, 3), std::invalid_argument);
+}
+
+TEST(TrajectoryBuffer, EmptyTrajectoriesAreDiscarded) {
+  const ActorCritic net = make_net();
+  TrajectoryBuffer buffer(0.9);
+  buffer.record_reward(1, 5.0);  // opens nothing
+  buffer.truncate_all();
+  EXPECT_EQ(buffer.drain(net, 3).size(), 0u);
+}
+
+}  // namespace
+}  // namespace dosc::rl

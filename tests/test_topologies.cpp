@@ -1,0 +1,145 @@
+// Table I of the paper: the four evaluation topologies and their degree
+// statistics must match exactly (the synthetic substitutes are generated to
+// reproduce them — see DESIGN.md substitution #1).
+#include <gtest/gtest.h>
+
+#include "net/shortest_paths.hpp"
+#include "net/topology_zoo.hpp"
+
+namespace dosc::net {
+namespace {
+
+struct TableRow {
+  const char* name;
+  std::size_t nodes;
+  std::size_t edges;
+  std::size_t min_degree;
+  std::size_t max_degree;
+  double avg_degree;
+};
+
+class TableITest : public ::testing::TestWithParam<TableRow> {};
+
+TEST_P(TableITest, MatchesPaper) {
+  const TableRow& row = GetParam();
+  const Network network = by_name(row.name);
+  const TopologyStats s = stats(network);
+  EXPECT_EQ(s.nodes, row.nodes);
+  EXPECT_EQ(s.edges, row.edges);
+  EXPECT_EQ(s.min_degree, row.min_degree);
+  EXPECT_EQ(s.max_degree, row.max_degree);
+  EXPECT_NEAR(s.avg_degree, row.avg_degree, 0.005);
+  EXPECT_TRUE(network.connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, TableITest,
+    ::testing::Values(TableRow{"abilene", 11, 14, 2, 3, 2.55},
+                      TableRow{"bt_europe", 24, 37, 1, 13, 3.08},
+                      TableRow{"china_telecom", 42, 66, 1, 20, 3.14},
+                      TableRow{"interroute", 110, 158, 1, 7, 2.87}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Abilene, NodeOrderMatchesPaperConvention) {
+  const Network n = abilene();
+  // v1..v3 (indices 0..2): co-located east coast; v8 (index 7) egress.
+  EXPECT_EQ(n.node(0).name, "NewYork");
+  EXPECT_EQ(n.node(1).name, "WashingtonDC");
+  EXPECT_EQ(n.node(2).name, "Atlanta");
+  EXPECT_EQ(n.node(3).name, "Seattle");
+  EXPECT_EQ(n.node(7).name, "KansasCity");
+}
+
+TEST(Abilene, ShortestPathDelayCalibration) {
+  // The paper's Fig. 7: SP completes flows in ~21 ms = 3 x 5 ms processing
+  // + ~6 ms path delay from the eastern ingresses to Kansas City.
+  const Network n = abilene();
+  const ShortestPaths sp(n);
+  EXPECT_NEAR(sp.delay(0, 7), 6.0, 1.5);
+  EXPECT_NEAR(sp.delay(1, 7), 6.4, 1.5);
+  // West-coast ingresses are farther but still well under deadline 100.
+  EXPECT_GT(sp.delay(3, 7), sp.delay(0, 7));
+  EXPECT_LT(sp.delay(3, 7), 20.0);
+}
+
+TEST(Abilene, CoLocatedIngressesSharePathSegments) {
+  // The evaluation explains SP's collapse by v1-v3's shortest paths to v8
+  // overlapping while v4/v5's do not overlap with them.
+  const Network n = abilene();
+  const ShortestPaths sp(n);
+  const auto p1 = sp.path(0, 7);
+  const auto p2 = sp.path(1, 7);
+  const auto p4 = sp.path(3, 7);
+  // v1 and v2 share at least one intermediate node besides the egress.
+  std::size_t shared12 = 0;
+  for (const NodeId a : p1) {
+    for (const NodeId b : p2) {
+      if (a == b && a != 7) ++shared12;
+    }
+  }
+  EXPECT_GE(shared12, 1u);
+  // v4's path shares no node with v1's except the egress itself.
+  for (const NodeId a : p4) {
+    if (a == 7) continue;
+    for (const NodeId b : p1) EXPECT_NE(a, b);
+  }
+}
+
+TEST(Abilene, LinkDelayScalesWithParameter) {
+  const Network base = abilene(kDefaultDelayPerKm);
+  const Network doubled = abilene(kDefaultDelayPerKm * 2.0);
+  for (LinkId l = 0; l < base.num_links(); ++l) {
+    EXPECT_NEAR(doubled.link(l).delay, base.link(l).delay * 2.0, 1e-9);
+  }
+}
+
+TEST(Synthetic, GeneratorValidatesConfig) {
+  SyntheticTopologyConfig bad;
+  bad.name = "bad";
+  bad.nodes = 3;
+  bad.edges = 2;
+  bad.max_degree = 2;
+  bad.leaves = 0;
+  EXPECT_THROW(synthetic_topology(bad), std::invalid_argument);
+
+  SyntheticTopologyConfig huge_hub;
+  huge_hub.name = "hub";
+  huge_hub.nodes = 10;
+  huge_hub.edges = 12;
+  huge_hub.max_degree = 9;
+  huge_hub.leaves = 3;
+  EXPECT_THROW(synthetic_topology(huge_hub), std::invalid_argument);
+}
+
+TEST(Synthetic, DeterministicForFixedSeed) {
+  const Network a = bt_europe();
+  const Network b = bt_europe();
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (LinkId l = 0; l < a.num_links(); ++l) {
+    EXPECT_EQ(a.link(l).a, b.link(l).a);
+    EXPECT_EQ(a.link(l).b, b.link(l).b);
+    EXPECT_DOUBLE_EQ(a.link(l).delay, b.link(l).delay);
+  }
+}
+
+TEST(Synthetic, HubIsUniqueMaximum) {
+  // China Telecom is "highly skewed in terms of node degree" (Sec. V-E):
+  // exactly one node carries the maximum degree.
+  const Network n = china_telecom();
+  std::size_t at_max = 0;
+  for (NodeId v = 0; v < n.num_nodes(); ++v) {
+    if (n.degree(v) == n.max_degree()) ++at_max;
+  }
+  EXPECT_EQ(at_max, 1u);
+}
+
+TEST(TopologyZoo, ByNameLookups) {
+  EXPECT_EQ(by_name("Abilene").name(), "Abilene");
+  EXPECT_EQ(by_name("BT Europe").name(), "BT Europe");
+  EXPECT_EQ(by_name("china_telecom").name(), "China Telecom");
+  EXPECT_THROW(by_name("atlantis"), std::invalid_argument);
+  EXPECT_EQ(topology_names().size(), 4u);
+}
+
+}  // namespace
+}  // namespace dosc::net

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "traffic/arrival.hpp"
+#include "traffic/spec.hpp"
+#include "traffic/trace.hpp"
+#include "util/rng.hpp"
+
+namespace dosc::traffic {
+namespace {
+
+TEST(FixedArrival, ExactIntervals) {
+  FixedArrival a(10.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.next_interarrival(i * 10.0, rng), 10.0);
+  EXPECT_THROW(FixedArrival(0.0), std::invalid_argument);
+}
+
+TEST(PoissonArrival, MeanMatches) {
+  PoissonArrival a(10.0);
+  util::Rng rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += a.next_interarrival(0.0, rng);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+  EXPECT_THROW(PoissonArrival(-1.0), std::invalid_argument);
+}
+
+TEST(PoissonArrival, CoefficientOfVariationNearOne) {
+  // Exponential inter-arrivals: stddev == mean (property distinguishing
+  // Poisson from fixed arrivals).
+  PoissonArrival a(10.0);
+  util::Rng rng(3);
+  const int n = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.next_interarrival(0.0, rng);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.05);
+}
+
+TEST(MmppArrival, SwitchesBetweenStates) {
+  // Paper parameters: means 12/8, switch every 100 steps with p = 0.05.
+  MmppArrival a(12.0, 8.0, 100.0, 0.05);
+  util::Rng rng(4);
+  bool saw_b = false;
+  double t = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    t += a.next_interarrival(t, rng);
+    saw_b |= a.in_state_b();
+  }
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(MmppArrival, NeverSwitchesWithZeroProbability) {
+  MmppArrival a(12.0, 8.0, 100.0, 0.0);
+  util::Rng rng(5);
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    t += a.next_interarrival(t, rng);
+    EXPECT_FALSE(a.in_state_b());
+  }
+}
+
+TEST(MmppArrival, StateMeansDiffer) {
+  // Force frequent switching and verify per-state empirical means.
+  MmppArrival a(12.0, 8.0, 50.0, 0.5);
+  util::Rng rng(6);
+  double t = 0.0;
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  int n_a = 0;
+  int n_b = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const double dt = a.next_interarrival(t, rng);
+    if (a.in_state_b()) {
+      sum_b += dt;
+      ++n_b;
+    } else {
+      sum_a += dt;
+      ++n_a;
+    }
+    t += dt;
+  }
+  ASSERT_GT(n_a, 1000);
+  ASSERT_GT(n_b, 1000);
+  EXPECT_NEAR(sum_a / n_a, 12.0, 0.7);
+  EXPECT_NEAR(sum_b / n_b, 8.0, 0.5);
+}
+
+TEST(MmppArrival, ValidatesParameters) {
+  EXPECT_THROW(MmppArrival(0.0, 8.0, 100.0, 0.05), std::invalid_argument);
+  EXPECT_THROW(MmppArrival(12.0, 8.0, 0.0, 0.05), std::invalid_argument);
+  EXPECT_THROW(MmppArrival(12.0, 8.0, 100.0, 1.5), std::invalid_argument);
+}
+
+TEST(RateTrace, PiecewiseLookupAndLooping) {
+  const RateTrace trace({{0.0, 10.0}, {100.0, 5.0}, {200.0, 20.0}}, 300.0);
+  EXPECT_DOUBLE_EQ(trace.mean_interarrival_at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.mean_interarrival_at(99.9), 10.0);
+  EXPECT_DOUBLE_EQ(trace.mean_interarrival_at(100.0), 5.0);
+  EXPECT_DOUBLE_EQ(trace.mean_interarrival_at(250.0), 20.0);
+  // Loops: 300 wraps to 0, 410 wraps to 110.
+  EXPECT_DOUBLE_EQ(trace.mean_interarrival_at(300.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.mean_interarrival_at(410.0), 5.0);
+}
+
+TEST(RateTrace, Validation) {
+  EXPECT_THROW(RateTrace({}, 100.0), std::invalid_argument);
+  EXPECT_THROW(RateTrace({{5.0, 10.0}}, 100.0), std::invalid_argument);
+  EXPECT_THROW(RateTrace({{0.0, -1.0}}, 100.0), std::invalid_argument);
+  EXPECT_THROW(RateTrace({{0.0, 10.0}, {0.0, 5.0}}, 100.0), std::invalid_argument);
+  EXPECT_THROW(RateTrace({{0.0, 10.0}}, 0.0), std::invalid_argument);
+}
+
+TEST(RateTrace, JsonRoundTrip) {
+  const RateTrace trace({{0.0, 10.0}, {50.0, 4.0}}, 120.0);
+  const RateTrace back = RateTrace::from_json(trace.to_json());
+  EXPECT_DOUBLE_EQ(back.horizon(), 120.0);
+  ASSERT_EQ(back.segments().size(), 2u);
+  EXPECT_DOUBLE_EQ(back.segments()[1].mean_interarrival, 4.0);
+}
+
+TEST(DiurnalTrace, BoundsAndDeterminism) {
+  DiurnalTraceConfig config;
+  config.seed = 9;
+  const RateTrace a = make_diurnal_trace(config);
+  const RateTrace b = make_diurnal_trace(config);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (std::size_t i = 0; i < a.segments().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.segments()[i].mean_interarrival, b.segments()[i].mean_interarrival);
+    EXPECT_GE(a.segments()[i].mean_interarrival, config.min_interarrival);
+  }
+  // The diurnal swing must actually modulate the rate.
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const auto& s : a.segments()) {
+    lo = std::min(lo, s.mean_interarrival);
+    hi = std::max(hi, s.mean_interarrival);
+  }
+  EXPECT_GT(hi / lo, 1.3);
+}
+
+TEST(TraceArrival, FollowsTraceRate) {
+  // Segment 1 mean 20, segment 2 mean 5: empirical means must track.
+  const RateTrace trace({{0.0, 20.0}, {10000.0, 5.0}}, 20000.0);
+  TraceArrival a(trace);
+  util::Rng rng(10);
+  double sum1 = 0.0;
+  int n1 = 0;
+  double sum2 = 0.0;
+  int n2 = 0;
+  double t = 0.0;
+  while (t < 20000.0) {
+    const double dt = a.next_interarrival(t, rng);
+    if (t < 10000.0) {
+      sum1 += dt;
+      ++n1;
+    } else {
+      sum2 += dt;
+      ++n2;
+    }
+    t += dt;
+  }
+  EXPECT_NEAR(sum1 / n1, 20.0, 2.5);
+  EXPECT_NEAR(sum2 / n2, 5.0, 1.0);
+}
+
+class SpecRoundTrip : public ::testing::TestWithParam<ArrivalKind> {};
+
+TEST_P(SpecRoundTrip, JsonPreservesKindAndParams) {
+  TrafficSpec spec;
+  switch (GetParam()) {
+    case ArrivalKind::kFixed: spec = TrafficSpec::fixed(7.0); break;
+    case ArrivalKind::kPoisson: spec = TrafficSpec::poisson(9.0); break;
+    case ArrivalKind::kMmpp: spec = TrafficSpec::mmpp(11.0, 6.0, 50.0, 0.1); break;
+    case ArrivalKind::kTrace: spec = TrafficSpec::diurnal_trace(3, 5000.0, 8.0); break;
+  }
+  const TrafficSpec back = TrafficSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.kind, spec.kind);
+  EXPECT_DOUBLE_EQ(back.mean_interarrival, spec.mean_interarrival);
+  EXPECT_DOUBLE_EQ(back.mmpp_mean_a, spec.mmpp_mean_a);
+  EXPECT_EQ(back.trace.has_value(), spec.trace.has_value());
+  // The factory must produce a working process either way.
+  util::Rng rng(1);
+  auto process = back.make_process();
+  EXPECT_GT(process->next_interarrival(0.0, rng), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SpecRoundTrip,
+                         ::testing::Values(ArrivalKind::kFixed, ArrivalKind::kPoisson,
+                                           ArrivalKind::kMmpp, ArrivalKind::kTrace),
+                         [](const auto& info) {
+                           return std::string(arrival_kind_name(info.param));
+                         });
+
+TEST(TrafficSpec, KindNamesRoundTrip) {
+  for (const ArrivalKind kind : {ArrivalKind::kFixed, ArrivalKind::kPoisson,
+                                 ArrivalKind::kMmpp, ArrivalKind::kTrace}) {
+    EXPECT_EQ(parse_arrival_kind(arrival_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_arrival_kind("bursty"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dosc::traffic
