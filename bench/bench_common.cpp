@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "util/json.hpp"
 #include "util/string_util.hpp"
 
 namespace dosc::bench {
@@ -123,38 +124,40 @@ AlgoStats evaluate(const sim::Scenario& scenario, Algo algo, const BenchScale& s
   for (std::size_t e = 0; e < scale.eval_seeds; ++e) {
     const std::uint64_t seed = seed_base + e;
     sim::Simulator sim(eval_scenario, seed);
+    sim.enable_decision_timing(true);
     sim::SimMetrics metrics;
     switch (algo) {
       case Algo::kDistributedDrl: {
         core::DistributedDrlCoordinator c(*net, scenario.network().max_degree());
-        c.enable_timing(true);
         metrics = sim.run(c);
-        stats.decision_us.merge(c.decision_time_us());
         break;
       }
       case Algo::kCentralDrl: {
         baselines::CentralDrlConfig config;
         config.hidden = scale.hidden;
         baselines::CentralDrlCoordinator c(*net, config, core::RewardConfig{});
-        c.enable_timing(true);
         metrics = sim.run(c, &c);
-        stats.decision_us.merge(c.decision_time_us());
         break;
       }
       case Algo::kGcasp: {
         baselines::GcaspCoordinator c;
-        c.enable_timing(true);
         metrics = sim.run(c);
-        stats.decision_us.merge(c.decision_time_us());
         break;
       }
       case Algo::kShortestPath: {
         baselines::ShortestPathCoordinator c;
-        c.enable_timing(true);
         metrics = sim.run(c);
-        stats.decision_us.merge(c.decision_time_us());
         break;
       }
+    }
+    // The central baseline's Fig. 9b "decision" is its periodic rule
+    // refresh, not the per-flow rule lookup.
+    if (algo == Algo::kCentralDrl) {
+      stats.decision_us.merge(metrics.rule_update_time);
+      stats.decision_hist.merge(metrics.rule_update_time_hist);
+    } else {
+      stats.decision_us.merge(metrics.decision_time);
+      stats.decision_hist.merge(metrics.decision_time_hist);
     }
     stats.success.add(metrics.success_ratio());
     if (metrics.e2e_delay.count() > 0) stats.e2e_delay.add(metrics.e2e_delay.mean());
@@ -185,6 +188,52 @@ void print_row(const std::string& label, const std::vector<std::string>& cells) 
 std::string fmt_mean_std(const util::RunningStats& stats, int precision) {
   return util::format_double(stats.mean(), precision) + "+-" +
          util::format_double(stats.stddev(), precision);
+}
+
+std::string fmt_p50_p99(const telemetry::Histogram& hist, int precision) {
+  if (hist.count() == 0) return "-";
+  return util::format_double(hist.percentile(50.0), precision) + "/" +
+         util::format_double(hist.percentile(99.0), precision);
+}
+
+std::string write_bench_json(const std::string& benchmark,
+                             const std::vector<BenchRecord>& records) {
+  util::Json::Array results;
+  results.reserve(records.size());
+  for (const BenchRecord& r : records) {
+    util::Json::Object success{
+        {"mean", util::Json(r.stats.success.mean())},
+        {"stddev", util::Json(r.stats.success.stddev())},
+        {"seeds", util::Json(r.stats.success.count())},
+    };
+    util::Json::Object delay{
+        {"mean", util::Json(r.stats.e2e_delay.mean())},
+        {"stddev", util::Json(r.stats.e2e_delay.stddev())},
+    };
+    util::Json::Object decision{
+        {"mean", util::Json(r.stats.decision_us.mean())},
+        {"p50", util::Json(r.stats.decision_hist.percentile(50.0))},
+        {"p90", util::Json(r.stats.decision_hist.percentile(90.0))},
+        {"p99", util::Json(r.stats.decision_hist.percentile(99.0))},
+        {"count", util::Json(r.stats.decision_hist.count())},
+    };
+    results.push_back(util::Json(util::Json::Object{
+        {"scenario", util::Json(r.scenario)},
+        {"algo", util::Json(r.algo)},
+        {"success", util::Json(std::move(success))},
+        {"e2e_delay_ms", util::Json(std::move(delay))},
+        {"decision_us", util::Json(std::move(decision))},
+    }));
+  }
+  const util::Json doc(util::Json::Object{
+      {"schema", util::Json(kBenchSchema)},
+      {"benchmark", util::Json(benchmark)},
+      {"results", util::Json(std::move(results))},
+  });
+  const std::string path = "BENCH_" + benchmark + ".json";
+  doc.save_file(path, 2);
+  std::printf("  [results: %s]\n", path.c_str());
+  return path;
 }
 
 }  // namespace dosc::bench

@@ -25,6 +25,7 @@
 #include "core/trainer.hpp"
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace dosc::bench {
@@ -45,10 +46,16 @@ struct BenchScale {
 };
 
 /// mean/stddev of the per-seed success ratios, plus delay diagnostics.
+/// Per-decision timing comes from the simulator (SimMetrics) — one code
+/// path for all four algorithms. For CentralDRL, decision_us holds the
+/// periodic rule-refresh latency (its Fig. 9b "decision").
 struct AlgoStats {
   util::RunningStats success;
   util::RunningStats e2e_delay;      ///< mean delay of completed flows (ms)
-  util::RunningStats decision_us;    ///< per-decision wall clock
+  util::RunningStats decision_us;    ///< per-decision wall clock (us)
+  /// Same samples as decision_us in a log-scale histogram, merged across
+  /// all eval episodes — the source for reported p50/p90/p99.
+  telemetry::Histogram decision_hist{telemetry::latency_histogram_config()};
 };
 
 /// Train (or load from cache) the distributed DRL policy for a scenario.
@@ -72,5 +79,23 @@ AlgoStats evaluate(const sim::Scenario& scenario, Algo algo, const BenchScale& s
 void print_header(const std::string& title, const std::vector<std::string>& columns);
 void print_row(const std::string& label, const std::vector<std::string>& cells);
 std::string fmt_mean_std(const util::RunningStats& stats, int precision = 3);
+/// "p50/p99" (us) from a latency histogram; "-" when empty.
+std::string fmt_p50_p99(const telemetry::Histogram& hist, int precision = 1);
+
+/// One (scenario, algorithm) evaluation result destined for BENCH_*.json.
+struct BenchRecord {
+  std::string scenario;
+  std::string algo;
+  AlgoStats stats;
+};
+
+inline constexpr const char* kBenchSchema = "dosc.bench.v1";
+
+/// Write the machine-diffable results file BENCH_<benchmark>.json:
+/// {"schema":"dosc.bench.v1","benchmark":...,"results":[{scenario, algo,
+/// success{mean,stddev,seeds}, e2e_delay_ms{...},
+/// decision_us{mean,p50,p90,p99,count}}]}. Returns the path written.
+std::string write_bench_json(const std::string& benchmark,
+                             const std::vector<BenchRecord>& records);
 
 }  // namespace dosc::bench

@@ -24,6 +24,10 @@ int main() {
 
   std::vector<std::vector<std::string>> success(4);
   std::vector<std::vector<std::string>> timing(4);
+  std::vector<bench::BenchRecord> records;
+
+  const bench::Algo algos[] = {bench::Algo::kDistributedDrl, bench::Algo::kCentralDrl,
+                               bench::Algo::kGcasp, bench::Algo::kShortestPath};
 
   for (const std::string& topology : topologies) {
     const sim::Scenario scenario =
@@ -42,7 +46,8 @@ int main() {
     const bench::AlgoStats* all[] = {&s_dist, &s_central, &s_gcasp, &s_sp};
     for (std::size_t i = 0; i < 4; ++i) {
       success[i].push_back(bench::fmt_mean_std(all[i]->success));
-      timing[i].push_back(util::format_double(all[i]->decision_us.mean(), 1));
+      timing[i].push_back(bench::fmt_p50_p99(all[i]->decision_hist));
+      records.push_back({topology, bench::algo_name(algos[i]), *all[i]});
     }
   }
 
@@ -50,9 +55,11 @@ int main() {
   bench::print_header("Fig. 9a: success ratio per topology", columns);
   for (std::size_t i = 0; i < 4; ++i) bench::print_row(names[i], success[i]);
 
-  bench::print_header("Fig. 9b: per-decision inference time (us)", columns);
+  bench::print_header("Fig. 9b: per-decision inference time p50/p99 (us)", columns);
   for (std::size_t i = 0; i < 4; ++i) bench::print_row(names[i], timing[i]);
   std::printf("\nNote: CentralDRL's time is per centralized rule update (its observation\n"
-              "is O(|V|)); DistDRL's is per local decision and is invariant to |V|.\n");
+              "is O(|V|)); DistDRL's is per local decision and is invariant to |V|.\n"
+              "Percentiles come from the simulator's log-scale latency histograms.\n");
+  bench::write_bench_json("fig9_scalability", records);
   return 0;
 }

@@ -9,11 +9,26 @@
 //    its observation is O(|V|) and it decides for every component, so the
 //    cost grows with the network size.
 //  * BM_HeuristicDecision: GCASP-style neighbour scan, for reference.
+//  * BM_ShortestPathDecision: SP's next-hop choice, for reference.
+//
+// Besides google-benchmark's mean, each family records per-decision wall
+// clock into a telemetry histogram and reports p50_us/p99_us counters; the
+// custom main dumps everything to BENCH_inference_micro.json
+// ("dosc.bench.v1"). Set DOSC_TELEMETRY=0 to skip the per-iteration clock
+// reads entirely — the loop bodies are then identical to the untimed ones.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
 
 #include "core/observation.hpp"
 #include "net/topology_zoo.hpp"
 #include "rl/actor_critic.hpp"
+#include "telemetry/histogram.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
 
 using namespace dosc;
 
@@ -39,6 +54,32 @@ rl::ActorCritic make_policy(std::size_t obs_dim, std::size_t actions) {
   return rl::ActorCritic(config);
 }
 
+bool telemetry_on() {
+  static const bool on = [] {
+    const char* env = std::getenv("DOSC_TELEMETRY");
+    return env == nullptr || std::string_view(env) != "0";
+  }();
+  return on;
+}
+
+/// Per-(algo, topology) latency histograms, keyed "algo/topology". Merged
+/// across repetitions; dumped by main() into BENCH_inference_micro.json.
+std::map<std::string, telemetry::Histogram>& results() {
+  static std::map<std::string, telemetry::Histogram> map;
+  return map;
+}
+
+void report(benchmark::State& state, const char* algo, int topo_index,
+            const telemetry::Histogram& hist) {
+  if (hist.count() == 0) return;
+  state.counters["p50_us"] = hist.percentile(50.0);
+  state.counters["p99_us"] = hist.percentile(99.0);
+  const std::string key = std::string(algo) + "/" + topology_label(topo_index);
+  auto [it, inserted] =
+      results().emplace(key, telemetry::Histogram(telemetry::latency_histogram_config()));
+  it->second.merge(hist);
+}
+
 }  // namespace
 
 static void BM_DistributedDecision(benchmark::State& state) {
@@ -47,12 +88,26 @@ static void BM_DistributedDecision(benchmark::State& state) {
   const rl::ActorCritic policy = make_policy(core::observation_dim(degree), degree + 1);
   std::vector<double> obs(core::observation_dim(degree), 0.2);
   util::Rng rng(1);
-  for (auto _ : state) {
-    obs[1] = rng.uniform(0.0, 1.0);  // defeat trivial caching
-    benchmark::DoNotOptimize(policy.greedy_action(obs));
-  }
   state.SetLabel(std::string(topology_label(static_cast<int>(state.range(0)))) + " |V|=" +
                  std::to_string(network.num_nodes()) + " deg=" + std::to_string(degree));
+  // The untimed loop comes first and returns early so that, with telemetry
+  // off, neither the histogram allocation nor the timed loop's code perturbs
+  // the hot path — it stays identical to the plain benchmark.
+  if (!telemetry_on()) {
+    for (auto _ : state) {
+      obs[1] = rng.uniform(0.0, 1.0);  // defeat trivial caching
+      benchmark::DoNotOptimize(policy.greedy_action(obs));
+    }
+    return;
+  }
+  telemetry::Histogram hist(telemetry::latency_histogram_config());
+  for (auto _ : state) {
+    obs[1] = rng.uniform(0.0, 1.0);  // defeat trivial caching
+    const util::Timer timer;
+    benchmark::DoNotOptimize(policy.greedy_action(obs));
+    hist.add(timer.elapsed_micros());
+  }
+  report(state, "DistDRL", static_cast<int>(state.range(0)), hist);
 }
 BENCHMARK(BM_DistributedDecision)->DenseRange(0, 3);
 
@@ -63,17 +118,33 @@ static void BM_CentralRuleUpdate(benchmark::State& state) {
   const rl::ActorCritic policy = make_policy(num_nodes + num_components + 1, num_nodes);
   std::vector<double> obs(num_nodes + num_components + 1, 0.3);
   util::Rng rng(2);
+  state.SetLabel(std::string(topology_label(static_cast<int>(state.range(0)))) + " |V|=" +
+                 std::to_string(num_nodes));
+  if (!telemetry_on()) {
+    for (auto _ : state) {
+      obs[0] = rng.uniform(0.0, 1.0);
+      // One rule decision per component, as CentralDrlCoordinator does.
+      for (std::size_t c = 0; c < num_components; ++c) {
+        obs[num_nodes + c] = 1.0;
+        benchmark::DoNotOptimize(policy.greedy_action(obs));
+        obs[num_nodes + c] = 0.0;
+      }
+    }
+    return;
+  }
+  telemetry::Histogram hist(telemetry::latency_histogram_config());
   for (auto _ : state) {
     obs[0] = rng.uniform(0.0, 1.0);
+    const util::Timer timer;
     // One rule decision per component, as CentralDrlCoordinator does.
     for (std::size_t c = 0; c < num_components; ++c) {
       obs[num_nodes + c] = 1.0;
       benchmark::DoNotOptimize(policy.greedy_action(obs));
       obs[num_nodes + c] = 0.0;
     }
+    hist.add(timer.elapsed_micros());
   }
-  state.SetLabel(std::string(topology_label(static_cast<int>(state.range(0)))) + " |V|=" +
-                 std::to_string(num_nodes));
+  report(state, "CentralDRL", static_cast<int>(state.range(0)), hist);
 }
 BENCHMARK(BM_CentralRuleUpdate)->DenseRange(0, 3);
 
@@ -81,10 +152,8 @@ static void BM_HeuristicDecision(benchmark::State& state) {
   const net::Network& network = topology(static_cast<int>(state.range(0)));
   const net::ShortestPaths sp(network);
   util::Rng rng(3);
-  for (auto _ : state) {
+  auto scan = [&](net::NodeId v) {
     // Neighbour scan comparable to GCASP's candidate ranking.
-    const net::NodeId v =
-        static_cast<net::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(network.num_nodes()) - 1));
     double best = 1e18;
     int best_action = 0;
     const auto& neighbors = network.neighbors(v);
@@ -95,10 +164,98 @@ static void BM_HeuristicDecision(benchmark::State& state) {
         best_action = static_cast<int>(i + 1);
       }
     }
-    benchmark::DoNotOptimize(best_action);
-  }
+    return best_action;
+  };
   state.SetLabel(topology_label(static_cast<int>(state.range(0))));
+  if (!telemetry_on()) {
+    for (auto _ : state) {
+      const net::NodeId v = static_cast<net::NodeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(network.num_nodes()) - 1));
+      benchmark::DoNotOptimize(scan(v));
+    }
+    return;
+  }
+  telemetry::Histogram hist(telemetry::latency_histogram_config());
+  for (auto _ : state) {
+    const net::NodeId v = static_cast<net::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(network.num_nodes()) - 1));
+    const util::Timer timer;
+    benchmark::DoNotOptimize(scan(v));
+    hist.add(timer.elapsed_micros());
+  }
+  report(state, "GCASP", static_cast<int>(state.range(0)), hist);
 }
 BENCHMARK(BM_HeuristicDecision)->DenseRange(0, 3);
 
-BENCHMARK_MAIN();
+static void BM_ShortestPathDecision(benchmark::State& state) {
+  const net::Network& network = topology(static_cast<int>(state.range(0)));
+  const net::ShortestPaths sp(network);
+  util::Rng rng(4);
+  const net::NodeId egress = static_cast<net::NodeId>(network.num_nodes() - 1);
+  auto next_hop = [&](net::NodeId v) {
+    // SP's decide(): forward along the delay-shortest path to the egress.
+    double best = 1e18;
+    int best_action = 0;
+    const auto& neighbors = network.neighbors(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const double d = sp.delay_via(v, neighbors[i], egress);
+      if (d < best) {
+        best = d;
+        best_action = static_cast<int>(i + 1);
+      }
+    }
+    return best_action;
+  };
+  state.SetLabel(topology_label(static_cast<int>(state.range(0))));
+  if (!telemetry_on()) {
+    for (auto _ : state) {
+      const net::NodeId v = static_cast<net::NodeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(network.num_nodes()) - 1));
+      benchmark::DoNotOptimize(next_hop(v));
+    }
+    return;
+  }
+  telemetry::Histogram hist(telemetry::latency_histogram_config());
+  for (auto _ : state) {
+    const net::NodeId v = static_cast<net::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(network.num_nodes()) - 1));
+    const util::Timer timer;
+    benchmark::DoNotOptimize(next_hop(v));
+    hist.add(timer.elapsed_micros());
+  }
+  report(state, "SP", static_cast<int>(state.range(0)), hist);
+}
+BENCHMARK(BM_ShortestPathDecision)->DenseRange(0, 3);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!results().empty()) {
+    util::Json::Array entries;
+    for (const auto& [key, hist] : results()) {
+      const std::size_t slash = key.find('/');
+      entries.push_back(util::Json(util::Json::Object{
+          {"algo", util::Json(key.substr(0, slash))},
+          {"scenario", util::Json(key.substr(slash + 1))},
+          {"decision_us",
+           util::Json(util::Json::Object{
+               {"mean", util::Json(hist.mean())},
+               {"p50", util::Json(hist.percentile(50.0))},
+               {"p90", util::Json(hist.percentile(90.0))},
+               {"p99", util::Json(hist.percentile(99.0))},
+               {"count", util::Json(static_cast<std::size_t>(hist.count()))},
+           })},
+      }));
+    }
+    const util::Json doc(util::Json::Object{
+        {"schema", util::Json("dosc.bench.v1")},
+        {"benchmark", util::Json("inference_micro")},
+        {"results", util::Json(std::move(entries))},
+    });
+    doc.save_file("BENCH_inference_micro.json", 2);
+  }
+  return 0;
+}

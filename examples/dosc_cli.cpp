@@ -7,12 +7,18 @@
 //                  [--episodes N] [--time MS]    algo: dist|gcasp|sp
 //   dosc_cli trace <out.json> [--seed S] [--horizon MS]
 //
+// Global flags (any subcommand, default off):
+//   --log-level <trace|debug|info|warn|error|off>
+//   --telemetry-out <path>   write a metrics snapshot (dosc.telemetry.v1)
+//   --trace-out <path>       write a chrome://tracing trace-event JSON
+//
 // Scenario files use sim::ScenarioConfig::to_json()'s schema; see
 // scenarios/ for ready-made examples.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "baselines/gcasp.hpp"
 #include "baselines/shortest_path.hpp"
@@ -22,7 +28,9 @@
 #include "net/topology_zoo.hpp"
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "traffic/trace.hpp"
+#include "util/logging.hpp"
 
 using namespace dosc;
 
@@ -35,8 +43,47 @@ int usage() {
                "  dosc_cli train <scenario.json> <policy.json> [--iterations N] [--seeds K]\n"
                "  dosc_cli eval <scenario.json> <dist|gcasp|sp> [--policy p.json]\n"
                "                [--episodes N] [--time MS]\n"
-               "  dosc_cli trace <out.json> [--seed S] [--horizon MS]\n");
+               "  dosc_cli trace <out.json> [--seed S] [--horizon MS]\n"
+               "global flags (default off):\n"
+               "  --log-level <trace|debug|info|warn|error|off>\n"
+               "  --telemetry-out <file>   metrics snapshot JSON (dosc.telemetry.v1)\n"
+               "  --trace-out <file>       chrome://tracing trace-event JSON\n");
   return 2;
+}
+
+/// Global observability options, stripped from argv before dispatch.
+struct GlobalOptions {
+  std::string telemetry_out;
+  std::string trace_out;
+  bool ok = true;
+};
+
+/// Consumes --log-level/--telemetry-out/--trace-out (and their values)
+/// from argv so subcommand parsing only sees its own flags.
+GlobalOptions strip_global_flags(int& argc, char** argv) {
+  GlobalOptions options;
+  std::vector<char*> kept;
+  kept.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(argv[i], "--log-level") == 0 && has_value) {
+      util::set_log_level(util::parse_log_level(argv[++i]));
+    } else if (std::strcmp(argv[i], "--telemetry-out") == 0 && has_value) {
+      options.telemetry_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && has_value) {
+      options.trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--log-level") == 0 ||
+               std::strcmp(argv[i], "--telemetry-out") == 0 ||
+               std::strcmp(argv[i], "--trace-out") == 0) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      options.ok = false;
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(kept.size());
+  for (int i = 0; i < argc; ++i) argv[i] = kept[static_cast<std::size_t>(i)];
+  return options;
 }
 
 /// Value of "--flag" in argv, or fallback.
@@ -106,6 +153,9 @@ int cmd_eval(int argc, char** argv) {
   util::RunningStats delay;
   for (std::size_t e = 0; e < episodes; ++e) {
     sim::Simulator sim(eval, 424242 + e);
+    // With telemetry on, time every decision so the snapshot's
+    // sim.decision_us histogram is populated.
+    sim.enable_decision_timing(telemetry::enabled());
     sim::SimMetrics m;
     if (algo == "dist") {
       const char* policy_path = flag_str(argc, argv, "--policy", nullptr);
@@ -150,16 +200,45 @@ int cmd_trace(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const GlobalOptions options = strip_global_flags(argc, argv);
+  if (!options.ok) return usage();
+  if (!options.telemetry_out.empty()) telemetry::set_enabled(true);
+  if (!options.trace_out.empty()) telemetry::Tracer::global().set_enabled(true);
+
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  int result = 2;
   try {
-    if (command == "topology") return cmd_topology(argc, argv);
-    if (command == "train") return cmd_train(argc, argv);
-    if (command == "eval") return cmd_eval(argc, argv);
-    if (command == "trace") return cmd_trace(argc, argv);
+    if (command == "topology") {
+      result = cmd_topology(argc, argv);
+    } else if (command == "train") {
+      result = cmd_train(argc, argv);
+    } else if (command == "eval") {
+      result = cmd_eval(argc, argv);
+    } else if (command == "trace") {
+      result = cmd_trace(argc, argv);
+    } else {
+      return usage();
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
+
+  try {
+    if (!options.telemetry_out.empty()) {
+      telemetry::write_snapshot(telemetry::MetricsRegistry::global(), options.telemetry_out,
+                                {{"command", util::Json(command)}});
+      std::printf("telemetry snapshot: %s\n", options.telemetry_out.c_str());
+    }
+    if (!options.trace_out.empty()) {
+      telemetry::Tracer::global().save_chrome_json(options.trace_out);
+      std::printf("trace: %s (%zu events)\n", options.trace_out.c_str(),
+                  telemetry::Tracer::global().events().size());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error writing telemetry output: %s\n", e.what());
+    return 1;
+  }
+  return result;
 }

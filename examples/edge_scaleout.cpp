@@ -46,10 +46,11 @@ int main(int argc, char** argv) {
   for (std::uint64_t seed = 300; seed < 303; ++seed) {
     {
       core::DistributedDrlCoordinator coordinator(net, degree);
-      coordinator.enable_timing(true);
       sim::Simulator sim(eval, seed);
-      drl.add(sim.run(coordinator).success_ratio());
-      decision_us.merge(coordinator.decision_time_us());
+      sim.enable_decision_timing(true);
+      const sim::SimMetrics metrics = sim.run(coordinator);
+      drl.add(metrics.success_ratio());
+      decision_us.merge(metrics.decision_time);
     }
     {
       baselines::GcaspCoordinator coordinator;

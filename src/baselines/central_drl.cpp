@@ -5,7 +5,6 @@
 #include <thread>
 
 #include "baselines/shortest_path.hpp"
-#include "util/timer.hpp"
 
 namespace dosc::baselines {
 
@@ -53,7 +52,6 @@ std::vector<double> CentralDrlCoordinator::build_observation(const sim::Simulato
 }
 
 void CentralDrlCoordinator::refresh_rules(const sim::Simulator& sim, double time) {
-  util::Timer timer;
   // One rule decision per component, computed from the STALE global view.
   // Each component's rule forms its own trajectory (buffer key = component
   // id), so the reward stream credits every rule, not only the last one
@@ -111,7 +109,6 @@ void CentralDrlCoordinator::refresh_rules(const sim::Simulator& sim, double time
     for (double& w : rule.cumulative) w /= total;
     targets_[c] = std::move(rule);
   }
-  if (timing_) decision_time_us_.add(timer.elapsed_micros());
 }
 
 void CentralDrlCoordinator::on_periodic(const sim::Simulator& sim, double time) {

@@ -29,7 +29,6 @@
 #include "rl/updater.hpp"
 #include "sim/coordinator.hpp"
 #include "sim/simulator.hpp"
-#include "util/stats.hpp"
 
 namespace dosc::baselines {
 
@@ -67,10 +66,10 @@ class CentralDrlCoordinator final : public sim::Coordinator, public sim::FlowObs
                     double time) override;
   void on_parked(const sim::Flow& flow, net::NodeId node, double time) override;
 
-  /// Wall-clock time of each centralized rule update (the baseline's
-  /// "inference time" in Fig. 9b — grows with the network size).
-  const util::RunningStats& decision_time_us() const noexcept { return decision_time_us_; }
-  void enable_timing(bool on) noexcept { timing_ = on; }
+  // The wall-clock time of each centralized rule update (the baseline's
+  // "inference time" in Fig. 9b — grows with the network size) is measured
+  // by the simulator: Simulator::enable_decision_timing →
+  // SimMetrics::rule_update_time.
   double episode_reward() const noexcept { return episode_reward_; }
 
  private:
@@ -100,8 +99,6 @@ class CentralDrlCoordinator final : public sim::Coordinator, public sim::FlowObs
     std::vector<double> cumulative;  ///< same length; last element == 1
   };
   std::vector<Rule> targets_;
-  bool timing_ = false;
-  util::RunningStats decision_time_us_;
   double episode_reward_ = 0.0;
 };
 

@@ -3,7 +3,6 @@
 #include <limits>
 
 #include "baselines/shortest_path.hpp"
-#include "util/timer.hpp"
 
 namespace dosc::baselines {
 
@@ -13,7 +12,6 @@ void GcaspCoordinator::on_episode_start(const sim::Simulator& /*sim*/) {
 
 int GcaspCoordinator::decide(const sim::Simulator& sim, const sim::Flow& flow,
                              net::NodeId node) {
-  util::Timer timer;
   int action;
   const bool needs_processing = !sim.fully_processed(flow);
   if (needs_processing && sim.node_free(node) >= sim.component_demand(flow)) {
@@ -24,7 +22,6 @@ int GcaspCoordinator::decide(const sim::Simulator& sim, const sim::Flow& flow,
   if (action != sim::kActionProcessLocal) {
     previous_node_[flow.id] = node;
   }
-  if (timing_) decision_time_us_.add(timer.elapsed_micros());
   return action;
 }
 

@@ -20,17 +20,15 @@
 
 #include "sim/coordinator.hpp"
 #include "sim/simulator.hpp"
-#include "util/stats.hpp"
 
 namespace dosc::baselines {
 
+// Per-decision timing lives in the simulator now
+// (Simulator::enable_decision_timing → SimMetrics::decision_time).
 class GcaspCoordinator final : public sim::Coordinator {
  public:
   int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
   void on_episode_start(const sim::Simulator& sim) override;
-
-  const util::RunningStats& decision_time_us() const noexcept { return decision_time_us_; }
-  void enable_timing(bool on) noexcept { timing_ = on; }
 
  private:
   int choose_forward(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node,
@@ -40,8 +38,6 @@ class GcaspCoordinator final : public sim::Coordinator {
   /// local knowledge: in a real deployment this is a tag on the flow
   /// (cf. NSH metadata), not shared state.
   std::unordered_map<sim::FlowId, net::NodeId> previous_node_;
-  bool timing_ = false;
-  util::RunningStats decision_time_us_;
 };
 
 }  // namespace dosc::baselines

@@ -1,7 +1,5 @@
 #include "baselines/shortest_path.hpp"
 
-#include "util/timer.hpp"
-
 namespace dosc::baselines {
 
 int neighbor_action(const net::Network& network, net::NodeId node, net::NodeId target) {
@@ -14,7 +12,6 @@ int neighbor_action(const net::Network& network, net::NodeId node, net::NodeId t
 
 int ShortestPathCoordinator::decide(const sim::Simulator& sim, const sim::Flow& flow,
                                     net::NodeId node) {
-  util::Timer timer;
   int action;
   if (sim.fully_processed(flow)) {
     // Route straight to the egress.
@@ -29,7 +26,6 @@ int ShortestPathCoordinator::decide(const sim::Simulator& sim, const sim::Flow& 
     action = neighbor_action(sim.network(), node, hop);
   }
   if (action < 0) action = sim::kActionProcessLocal;  // disconnected fallback
-  if (timing_) decision_time_us_.add(timer.elapsed_micros());
   return action;
 }
 

@@ -9,20 +9,15 @@
 
 #include "sim/coordinator.hpp"
 #include "sim/simulator.hpp"
-#include "util/stats.hpp"
 
 namespace dosc::baselines {
 
+// Per-decision timing lives in the simulator now
+// (Simulator::enable_decision_timing → SimMetrics::decision_time), one
+// place for all algorithms.
 class ShortestPathCoordinator final : public sim::Coordinator {
  public:
   int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
-
-  const util::RunningStats& decision_time_us() const noexcept { return decision_time_us_; }
-  void enable_timing(bool on) noexcept { timing_ = on; }
-
- private:
-  bool timing_ = false;
-  util::RunningStats decision_time_us_;
 };
 
 /// Index (1-based action) of `target` in node's neighbour list, or -1.

@@ -2,7 +2,6 @@
 
 #include <stdexcept>
 
-#include "util/timer.hpp"
 
 namespace dosc::core {
 
@@ -80,12 +79,8 @@ DistributedDrlCoordinator::DistributedDrlCoordinator(const rl::ActorCritic& poli
 
 int DistributedDrlCoordinator::decide(const sim::Simulator& sim, const sim::Flow& flow,
                                       net::NodeId node) {
-  util::Timer timer;
   const std::vector<double>& obs = obs_.build(sim, flow, node);
-  const int action =
-      stochastic_ ? policy_.sample_action(obs, rng_) : policy_.greedy_action(obs);
-  if (timing_) decision_time_us_.add(timer.elapsed_micros());
-  return action;
+  return stochastic_ ? policy_.sample_action(obs, rng_) : policy_.greedy_action(obs);
 }
 
 }  // namespace dosc::core

@@ -11,7 +11,6 @@
 #include "rl/rollout.hpp"
 #include "sim/coordinator.hpp"
 #include "sim/simulator.hpp"
-#include "util/stats.hpp"
 
 namespace dosc::core {
 
@@ -83,7 +82,9 @@ class TrainingEnv final : public sim::Coordinator, public sim::FlowObserver {
 
 /// Fully distributed online inference (Alg. 1, lines 13-19): a trained
 /// policy copied to every node, queried with purely local observations.
-/// Per-decision wall-clock time is recorded for the Fig. 9b measurement.
+/// Per-decision wall-clock time for the Fig. 9b measurement is recorded by
+/// the simulator (Simulator::enable_decision_timing →
+/// SimMetrics::decision_time), uniformly for all algorithms.
 class DistributedDrlCoordinator final : public sim::Coordinator {
  public:
   /// `stochastic` samples from the policy (as during training); the default
@@ -94,16 +95,11 @@ class DistributedDrlCoordinator final : public sim::Coordinator {
 
   int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
 
-  const util::RunningStats& decision_time_us() const noexcept { return decision_time_us_; }
-  void enable_timing(bool on) noexcept { timing_ = on; }
-
  private:
   const rl::ActorCritic& policy_;
   ObservationBuilder obs_;
   bool stochastic_;
   util::Rng rng_;
-  bool timing_ = false;
-  util::RunningStats decision_time_us_;
 };
 
 }  // namespace dosc::core

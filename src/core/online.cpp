@@ -1,5 +1,8 @@
 #include "core/online.hpp"
 
+#include "telemetry/telemetry.hpp"
+#include "util/timer.hpp"
+
 namespace dosc::core {
 
 OnlineTrainingCoordinator::OnlineTrainingCoordinator(rl::ActorCritic policy,
@@ -32,8 +35,17 @@ void OnlineTrainingCoordinator::on_periodic(const sim::Simulator& /*sim*/, doubl
   // one training batch; open flows keep collecting and are picked up by a
   // later update once they terminate.
   if (buffer_.completed_steps() < config_.min_batch) return;
+  DOSC_TRACE_SCOPE("online", "policy_refresh");
+  const util::Timer timer;
   const rl::Batch batch = buffer_.drain(policy_, policy_.config().obs_dim);
   updater_.update(policy_, batch);
+  const double us = timer.elapsed_micros();
+  refresh_time_us_.add(us);
+  if (telemetry::enabled()) {
+    telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+    registry.observe("online.refresh_us", us);
+    registry.counter("online.updates").add(1);
+  }
 }
 
 void OnlineTrainingCoordinator::reward_flow(sim::FlowId flow, double r) {

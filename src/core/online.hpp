@@ -18,6 +18,7 @@
 #include "rl/updater.hpp"
 #include "sim/coordinator.hpp"
 #include "sim/simulator.hpp"
+#include "util/stats.hpp"
 
 namespace dosc::core {
 
@@ -53,6 +54,10 @@ class OnlineTrainingCoordinator final : public sim::Coordinator, public sim::Flo
   const rl::ActorCritic& policy() const noexcept { return policy_; }
   std::size_t updates_done() const noexcept { return updater_.updates_done(); }
   double episode_reward() const noexcept { return episode_reward_; }
+  /// Wall clock (us) of each executed policy refresh (drain + update): the
+  /// coordination downtime an online update would cost a live node. Also
+  /// exported as the "online.refresh_us" telemetry histogram.
+  const util::RunningStats& refresh_time_us() const noexcept { return refresh_time_us_; }
 
  private:
   void reward_flow(sim::FlowId flow, double r);
@@ -66,6 +71,7 @@ class OnlineTrainingCoordinator final : public sim::Coordinator, public sim::Flo
   util::Rng rng_;
   const sim::Simulator* sim_ = nullptr;
   double episode_reward_ = 0.0;
+  util::RunningStats refresh_time_us_;
 };
 
 }  // namespace dosc::core

@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace dosc::core {
 
@@ -136,6 +138,8 @@ TrainedPolicy train_distributed_policy(const sim::Scenario& scenario,
 
       auto worker = [&](std::size_t env_index) {
         try {
+          DOSC_TRACE_SCOPE("train", "rollout");
+          const util::Timer rollout_timer;
           rl::ActorCritic local(net_config);
           local.set_parameters(snapshot);
           rl::TrajectoryBuffer buffer(config.gamma);
@@ -148,6 +152,20 @@ TrainedPolicy train_distributed_policy(const sim::Scenario& scenario,
           buffer.truncate_all();
           batches[env_index] = buffer.drain(local, obs_dim);
           episode_rewards[env_index] = env.episode_reward();
+          if (telemetry::enabled()) {
+            // Recorded locally, merged here from the worker thread: the
+            // registry histograms are the cross-thread merge point.
+            const double rollout_s = rollout_timer.elapsed_seconds();
+            telemetry::Histogram local_hist(telemetry::latency_histogram_config());
+            local_hist.add(rollout_s * 1e3);
+            telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+            registry.merge_histogram("train.rollout_ms", local_hist);
+            registry.counter("train.env_steps").add(batches[env_index].size());
+            if (rollout_s > 0.0) {
+              registry.observe("train.env_steps_per_s",
+                               static_cast<double>(batches[env_index].size()) / rollout_s);
+            }
+          }
         } catch (...) {
           errors[env_index] = std::current_exception();
         }
@@ -207,7 +225,22 @@ TrainedPolicy train_distributed_policy(const sim::Scenario& scenario,
         merged.returns.push_back(b.returns[i]);
       }
 
-      const rl::UpdateStats stats = updater.update(net, merged);
+      rl::UpdateStats stats;
+      {
+        DOSC_TRACE_SCOPE("train", "update");
+        const util::Timer update_timer;
+        stats = updater.update(net, merged);
+        if (telemetry::enabled()) {
+          telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+          registry.observe("train.update_ms", update_timer.elapsed_millis());
+          registry.counter("train.updates").add(1);
+          registry.counter("train.iterations").add(1);
+          double reward_sum = 0.0;
+          for (const double r : episode_rewards) reward_sum += r;
+          registry.gauge("train.mean_episode_reward")
+              .set(reward_sum / static_cast<double>(config.parallel_envs));
+        }
+      }
       if (progress) {
         double mean_reward = 0.0;
         for (const double r : episode_rewards) mean_reward += r;

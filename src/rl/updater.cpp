@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+#include "util/timer.hpp"
+
 namespace dosc::rl {
 
 const char* optimizer_kind_name(OptimizerKind kind) noexcept {
@@ -87,7 +90,15 @@ UpdateStats Updater::update(ActorCritic& net, const Batch& batch) {
   }
   critic.backward(grad_v);
   critic.clip_grad_norm(config_.max_grad_norm);
-  if (critic_kfac_ != nullptr) critic_kfac_->update_factors(critic);
+  if (critic_kfac_ != nullptr) {
+    DOSC_TRACE_SCOPE("train", "kfac_critic");
+    const util::Timer kfac_timer;
+    critic_kfac_->update_factors(critic);
+    if (telemetry::enabled()) {
+      telemetry::MetricsRegistry::global().observe("train.kfac_ms",
+                                                   kfac_timer.elapsed_millis());
+    }
+  }
   critic_opt_->step(critic);
 
   // ---- advantage normalisation ----
@@ -124,7 +135,15 @@ UpdateStats Updater::update(ActorCritic& net, const Batch& batch) {
   }
   actor.backward(grad_logits);
   actor.clip_grad_norm(config_.max_grad_norm);
-  if (actor_kfac_ != nullptr) actor_kfac_->update_factors(actor);
+  if (actor_kfac_ != nullptr) {
+    DOSC_TRACE_SCOPE("train", "kfac_actor");
+    const util::Timer kfac_timer;
+    actor_kfac_->update_factors(actor);
+    if (telemetry::enabled()) {
+      telemetry::MetricsRegistry::global().observe("train.kfac_ms",
+                                                   kfac_timer.elapsed_millis());
+    }
+  }
   actor_opt_->step(actor);
 
   ++updates_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace dosc::sim {
 
@@ -96,6 +99,8 @@ SimMetrics Simulator::run(Coordinator& coordinator, FlowObserver* observer) {
     const Event event = heap_.back();
     heap_.pop_back();
     time_ = event.time;
+    ++events_by_kind_[static_cast<std::size_t>(event.kind)];
+    DOSC_TRACE_SCOPE("sim", event_kind_name(event.kind));
 
     switch (event.kind) {
       case EventKind::kTrafficArrival: handle_traffic_arrival(event); break;
@@ -107,9 +112,17 @@ SimMetrics Simulator::run(Coordinator& coordinator, FlowObserver* observer) {
       case EventKind::kFailureStart: handle_failure_start(event); break;
       case EventKind::kFailureEnd: handle_failure_end(event); break;
       case EventKind::kPeriodic:
-        // Periodic callbacks continue while traffic can still arrive.
+        // Periodic callbacks continue while traffic can still arrive. For
+        // the centralized baseline this is the rule refresh — ITS
+        // "decision" in Fig. 9b terms — so it is timed like one.
         if (time_ <= config.end_time) {
-          coordinator_->on_periodic(*this, time_);
+          if (time_decisions_) {
+            const util::Timer timer;
+            coordinator_->on_periodic(*this, time_);
+            metrics_.record_rule_update_time(timer.elapsed_micros());
+          } else {
+            coordinator_->on_periodic(*this, time_);
+          }
           if (time_ + periodic <= config.end_time) {
             schedule(time_ + periodic, EventKind::kPeriodic);
           }
@@ -119,6 +132,7 @@ SimMetrics Simulator::run(Coordinator& coordinator, FlowObserver* observer) {
   }
   coordinator_ = nullptr;
   observer_ = nullptr;
+  if (telemetry::enabled()) flush_telemetry();
   return metrics_;
 }
 
@@ -178,8 +192,16 @@ void Simulator::handle_flow_arrival(const Event& event) {
     return;
   }
   ++metrics_.decisions;
-  const int action = coordinator_->decide(*this, flow, node);
+  const int action = timed_decide(flow, node);
   apply_action(flow, node, action);
+}
+
+int Simulator::timed_decide(Flow& flow, net::NodeId node) {
+  if (!time_decisions_) return coordinator_->decide(*this, flow, node);
+  const util::Timer timer;
+  const int action = coordinator_->decide(*this, flow, node);
+  metrics_.record_decision_time(timer.elapsed_micros());
+  return action;
 }
 
 void Simulator::apply_action(Flow& flow, net::NodeId node, int action) {
@@ -378,6 +400,46 @@ void Simulator::drop(Flow& flow, DropReason reason) {
     on_instance_maybe_idle(flow.processing_instance);
   }
   flows_.erase(flow.id);
+}
+
+const char* Simulator::event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kTrafficArrival: return "traffic_arrival";
+    case EventKind::kFlowArrival: return "flow_arrival";
+    case EventKind::kProcessingDone: return "processing_done";
+    case EventKind::kHoldRelease: return "hold_release";
+    case EventKind::kInstanceIdle: return "instance_idle";
+    case EventKind::kFlowExpiry: return "flow_expiry";
+    case EventKind::kPeriodic: return "periodic";
+    case EventKind::kFailureStart: return "failure_start";
+    case EventKind::kFailureEnd: return "failure_end";
+  }
+  return "?";
+}
+
+void Simulator::flush_telemetry() const {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  registry.counter("sim.flows.generated").add(metrics_.generated);
+  registry.counter("sim.flows.succeeded").add(metrics_.succeeded);
+  registry.counter("sim.flows.dropped").add(metrics_.dropped);
+  registry.counter("sim.decisions").add(metrics_.decisions);
+  // Every DropReason gets a counter, zero or not, so snapshots always show
+  // the full breakdown.
+  for (std::size_t r = 0; r < kNumDropReasons; ++r) {
+    registry.counter(std::string("sim.drops.") + drop_reason_name(static_cast<DropReason>(r)))
+        .add(metrics_.drops_by_reason[r]);
+  }
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    registry.counter(std::string("sim.events.") + event_kind_name(static_cast<EventKind>(k)))
+        .add(events_by_kind_[k]);
+  }
+  if (metrics_.decision_time_hist.count() > 0) {
+    registry.merge_histogram("sim.decision_us", metrics_.decision_time_hist);
+  }
+  if (metrics_.rule_update_time_hist.count() > 0) {
+    registry.merge_histogram("sim.rule_update_us", metrics_.rule_update_time_hist);
+  }
+  registry.gauge("sim.last_success_ratio").set(metrics_.success_ratio());
 }
 
 void Simulator::complete(Flow& flow) {

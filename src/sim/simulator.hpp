@@ -13,6 +13,7 @@
 // the three baselines — plug in through the Coordinator interface.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +34,12 @@ class Simulator {
 
   /// Run the episode to completion. Must be called at most once.
   SimMetrics run(Coordinator& coordinator, FlowObserver* observer = nullptr);
+
+  /// Time every coordinator decision (and periodic rule refresh) into
+  /// SimMetrics::decision_time / rule_update_time. One timing point for all
+  /// algorithms — replaces the per-coordinator timing members. Off by
+  /// default: an untimed run performs no clock reads on the decide path.
+  void enable_decision_timing(bool on) noexcept { time_decisions_ = on; }
 
   // --- state accessors (valid inside Coordinator/FlowObserver callbacks) ---
   double time() const noexcept { return time_; }
@@ -151,10 +158,22 @@ class Simulator {
   std::vector<util::Rng> ingress_rngs_;
   std::vector<std::unique_ptr<traffic::ArrivalProcess>> arrivals_;
 
+  /// Dispatch the coordinator decision for a flow arrival, timed when
+  /// enable_decision_timing is on.
+  int timed_decide(Flow& flow, net::NodeId node);
+  /// Flush per-episode counters/histograms into the global telemetry
+  /// registry (no-op unless telemetry::enabled()).
+  void flush_telemetry() const;
+
+  static constexpr std::size_t kNumEventKinds = 9;
+  static const char* event_kind_name(EventKind kind) noexcept;
+
   std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
   double time_ = 0.0;
   bool ran_ = false;
+  bool time_decisions_ = false;
+  std::array<std::uint64_t, kNumEventKinds> events_by_kind_{};
 
   std::unordered_map<FlowId, Flow> flows_;
   FlowId next_flow_id_ = 1;

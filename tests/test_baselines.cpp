@@ -265,7 +265,7 @@ TEST(CentralDrl, TrainingImprovesOverRandomPolicy) {
   EXPECT_GT(policy.eval_success_ratio, 0.3);
 }
 
-TEST(Timing, BaselinesRecordDecisionTimes) {
+TEST(Timing, SimulatorRecordsDecisionTimesForBaselines) {
   TinyScenarioOptions options;
   options.ingress = {0};
   options.egress = 2;
@@ -273,11 +273,27 @@ TEST(Timing, BaselinesRecordDecisionTimes) {
   const sim::Scenario scenario =
       tiny_scenario(test::line3(), test::one_component_catalog(), options);
   ShortestPathCoordinator sp;
-  sp.enable_timing(true);
   sim::Simulator sim(scenario, 1);
-  sim.run(sp);
-  EXPECT_GT(sp.decision_time_us().count(), 0u);
-  EXPECT_GE(sp.decision_time_us().mean(), 0.0);
+  sim.enable_decision_timing(true);
+  const sim::SimMetrics metrics = sim.run(sp);
+  EXPECT_GT(metrics.decision_time.count(), 0u);
+  EXPECT_GE(metrics.decision_time.mean(), 0.0);
+  EXPECT_EQ(metrics.decision_time_hist.count(), metrics.decision_time.count());
+}
+
+TEST(Timing, DecisionTimingOffByDefault) {
+  TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 2;
+  options.end_time = 100.0;
+  const sim::Scenario scenario =
+      tiny_scenario(test::line3(), test::one_component_catalog(), options);
+  ShortestPathCoordinator sp;
+  sim::Simulator sim(scenario, 1);
+  const sim::SimMetrics metrics = sim.run(sp);
+  EXPECT_GT(metrics.decisions, 0u);
+  EXPECT_EQ(metrics.decision_time.count(), 0u);
+  EXPECT_EQ(metrics.decision_time_hist.count(), 0u);
 }
 
 }  // namespace

@@ -218,11 +218,11 @@ TEST(DistributedCoordinator, StochasticAndGreedyModesRun) {
   for (const bool stochastic : {false, true}) {
     DistributedDrlCoordinator coordinator(net, scenario.network().max_degree(), stochastic,
                                           util::Rng(5));
-    coordinator.enable_timing(true);
     sim::Simulator sim(scenario, 6);
+    sim.enable_decision_timing(true);
     const sim::SimMetrics metrics = sim.run(coordinator);
     EXPECT_GT(metrics.generated, 0u);
-    EXPECT_GT(coordinator.decision_time_us().count(), 0u);
+    EXPECT_GT(metrics.decision_time.count(), 0u);
   }
 }
 

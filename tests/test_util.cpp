@@ -147,6 +147,46 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeWithEmptyKeepsMinMax) {
+  // min/max must survive merging an empty accumulator in either direction,
+  // even when the real extrema straddle the empty accumulator's 0 defaults.
+  RunningStats a;
+  a.add(-2.0);
+  a.add(4.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  RunningStats target;
+  target.merge(a);
+  EXPECT_DOUBLE_EQ(target.min(), -2.0);
+  EXPECT_DOUBLE_EQ(target.max(), 4.0);
+}
+
+TEST(RunningStats, MergeBothEmptyStaysEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(RunningStats, MergePropagatesMinMaxAcrossParts) {
+  RunningStats a;
+  RunningStats b;
+  a.add(10.0);
+  b.add(-10.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_NEAR(a.variance(), 200.0, 1e-9);
+}
+
 TEST(BatchStats, MeanStddevPercentile) {
   const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
   EXPECT_DOUBLE_EQ(mean(xs), 3.0);
