@@ -1,0 +1,245 @@
+// Microbenchmark of one full ACKTR update (Alg. 1, lines 10-12) on the
+// paper's 2x256 network, via google-benchmark:
+//
+//  * BM_AcktrUpdate: critic forward/backward, actor forward/backward,
+//    KFAC factor refresh and damped natural-gradient step, for batch sizes
+//    256..4096 on a single compute thread. This is the training hot loop
+//    the tiled GEMM kernels and the zero-allocation workspaces target; the
+//    batch-1024 case is the headline number tracked across revisions.
+//  * BM_AcktrUpdateThreads: the batch-1024 update under 1/2/4 compute
+//    threads (nn::set_compute_threads), showing row-partitioned scaling.
+//    Outputs are bit-identical across thread counts by the GEMM
+//    determinism contract, so this sweep is timing-only by construction.
+//  * BM_GemmTiled / BM_GemmReference: the dominant GEMM shape of the
+//    batch-1024 update (1024x256 * 256x256) through the tiled kernels and
+//    through the seed-style naive reference loops — the kernel-level
+//    speedup in isolation.
+//
+// Each family records per-iteration wall clock into a telemetry histogram
+// (p50_ms/p99_ms counters) and derives GFLOP/s from the gemm::flop_count()
+// delta across the timed region. The custom main dumps everything to
+// BENCH_train_step.json ("dosc.bench.v1").
+//
+// Unlike bench_inference_micro there is no untimed twin loop: one update
+// costs tens of milliseconds, so the per-iteration clock reads are noise.
+// Set DOSC_BENCH_SMOKE=1 (CI) to shrink the sweep to two batch sizes and
+// two iterations each — enough to exercise the code and emit the JSON.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/gemm.hpp"
+#include "nn/matrix.hpp"
+#include "nn/parallel.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/rollout.hpp"
+#include "rl/updater.hpp"
+#include "telemetry/histogram.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace dosc;
+
+namespace {
+
+constexpr std::size_t kObsDim = 20;      // observation_dim(degree 4)
+constexpr std::size_t kNumActions = 5;   // degree 4 + "process here"
+
+bool smoke() {
+  static const bool on = [] {
+    const char* env = std::getenv("DOSC_BENCH_SMOKE");
+    return env != nullptr && std::string_view(env) != "0";
+  }();
+  return on;
+}
+
+rl::ActorCritic make_policy() {
+  rl::ActorCriticConfig config;
+  config.obs_dim = kObsDim;
+  config.num_actions = kNumActions;
+  config.hidden = {256, 256};  // paper-scale network
+  config.seed = 1;
+  return rl::ActorCritic(config);
+}
+
+rl::Batch make_batch(std::size_t n, util::Rng& rng) {
+  rl::Batch batch;
+  batch.obs = nn::Matrix(n, kObsDim);
+  for (std::size_t i = 0; i < batch.obs.size(); ++i) {
+    batch.obs.data()[i] = rng.uniform(-1.0, 1.0);
+  }
+  batch.actions.resize(n);
+  batch.returns.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.actions[i] = static_cast<int>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kNumActions) - 1));
+    batch.returns[i] = rng.uniform(-1.0, 1.0);
+  }
+  return batch;
+}
+
+/// Per-benchmark wall-clock histograms (microseconds) and GFLOP/s, keyed by
+/// e.g. "acktr_update/batch=1024/threads=1". Dumped by main() into
+/// BENCH_train_step.json.
+std::map<std::string, telemetry::Histogram>& results() {
+  static std::map<std::string, telemetry::Histogram> map;
+  return map;
+}
+
+std::map<std::string, double>& gflops_results() {
+  static std::map<std::string, double> map;
+  return map;
+}
+
+void report(benchmark::State& state, const std::string& key,
+            const telemetry::Histogram& hist, std::uint64_t flops) {
+  if (hist.count() == 0 || hist.sum() <= 0.0) return;
+  // flops / (sum_us * 1e-6) / 1e9 = flops / (sum_us * 1000).
+  const double gflops = static_cast<double>(flops) / (hist.sum() * 1000.0);
+  state.counters["p50_ms"] = hist.percentile(50.0) / 1000.0;
+  state.counters["p99_ms"] = hist.percentile(99.0) / 1000.0;
+  state.counters["gflops"] = gflops;
+  auto [it, inserted] =
+      results().emplace(key, telemetry::Histogram(telemetry::latency_histogram_config()));
+  it->second.merge(hist);
+  gflops_results()[key] = gflops;  // last repetition wins; they agree closely
+}
+
+void run_update(benchmark::State& state, std::size_t batch_size, int threads,
+                const std::string& key) {
+  nn::ComputeThreadsGuard guard(static_cast<std::size_t>(threads));
+  rl::ActorCritic net = make_policy();
+  util::Rng rng(7);
+  const rl::Batch batch = make_batch(batch_size, rng);
+  rl::Updater updater(rl::UpdaterConfig{});  // ACKTR with the paper's constants
+
+  // One untimed update warms the KFAC factors and every workspace; from
+  // here on the gradient path performs no heap allocation.
+  updater.update(net, batch);
+
+  telemetry::Histogram hist(telemetry::latency_histogram_config());
+  const std::uint64_t flops0 = nn::gemm::flop_count();
+  for (auto _ : state) {
+    const util::Timer timer;
+    benchmark::DoNotOptimize(updater.update(net, batch));
+    hist.add(timer.elapsed_micros());
+  }
+  const std::uint64_t flops = nn::gemm::flop_count() - flops0;
+  state.SetLabel(std::string(nn::gemm::isa_name()) + " batch=" +
+                 std::to_string(batch_size) + " threads=" + std::to_string(threads));
+  report(state, key, hist, flops);
+}
+
+}  // namespace
+
+static void BM_AcktrUpdate(benchmark::State& state) {
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
+  run_update(state, batch_size, /*threads=*/1,
+             "acktr_update/batch=" + std::to_string(batch_size) + "/threads=1");
+}
+BENCHMARK(BM_AcktrUpdate)->Apply([](benchmark::internal::Benchmark* b) {
+  b->Unit(benchmark::kMillisecond);
+  if (smoke()) {
+    b->Arg(256)->Arg(1024)->Iterations(2);
+    return;
+  }
+  for (long n : {256L, 512L, 1024L, 2048L, 4096L}) b->Arg(n);
+});
+
+static void BM_AcktrUpdateThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::size_t batch_size = 1024;
+  run_update(state, batch_size, threads,
+             "acktr_update/batch=1024/threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_AcktrUpdateThreads)->Apply([](benchmark::internal::Benchmark* b) {
+  b->Unit(benchmark::kMillisecond);
+  if (smoke()) {
+    b->Arg(1)->Arg(2)->Iterations(2);
+    return;
+  }
+  for (long t : {1L, 2L, 4L}) b->Arg(t);
+});
+
+namespace {
+
+void run_gemm(benchmark::State& state, bool reference, const std::string& key) {
+  nn::ComputeThreadsGuard guard(1);
+  util::Rng rng(11);
+  // The dominant shape of the batch-1024 update: activations [1024 x 256]
+  // times weights [256 x 256].
+  nn::Matrix a(1024, 256);
+  nn::Matrix b(256, 256);
+  nn::Matrix c;
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.uniform(-1.0, 1.0);
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.uniform(-1.0, 1.0);
+
+  telemetry::Histogram hist(telemetry::latency_histogram_config());
+  const std::uint64_t flops0 = nn::gemm::flop_count();
+  for (auto _ : state) {
+    const util::Timer timer;
+    if (reference) {
+      benchmark::DoNotOptimize(matmul_reference(a, b));
+    } else {
+      nn::matmul_into(c, a, b);
+      benchmark::DoNotOptimize(c.data());
+    }
+    hist.add(timer.elapsed_micros());
+  }
+  const std::uint64_t flops = nn::gemm::flop_count() - flops0;
+  state.SetLabel(std::string(nn::gemm::isa_name()) + " 1024x256x256");
+  report(state, key, hist, flops);
+}
+
+}  // namespace
+
+static void BM_GemmTiled(benchmark::State& state) {
+  run_gemm(state, /*reference=*/false, "gemm_nn/1024x256x256/tiled");
+}
+BENCHMARK(BM_GemmTiled)->Unit(benchmark::kMillisecond);
+
+static void BM_GemmReference(benchmark::State& state) {
+  run_gemm(state, /*reference=*/true, "gemm_nn/1024x256x256/reference");
+}
+BENCHMARK(BM_GemmReference)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!results().empty()) {
+    util::Json::Array entries;
+    for (const auto& [key, hist] : results()) {
+      entries.push_back(util::Json(util::Json::Object{
+          {"name", util::Json(key)},
+          {"wall_ms",
+           util::Json(util::Json::Object{
+               {"mean", util::Json(hist.mean() / 1000.0)},
+               {"min", util::Json(hist.min() / 1000.0)},
+               {"p50", util::Json(hist.percentile(50.0) / 1000.0)},
+               {"p90", util::Json(hist.percentile(90.0) / 1000.0)},
+               {"p99", util::Json(hist.percentile(99.0) / 1000.0)},
+               {"count", util::Json(static_cast<std::size_t>(hist.count()))},
+           })},
+          {"gflops", util::Json(gflops_results()[key])},
+      }));
+    }
+    const util::Json doc(util::Json::Object{
+        {"schema", util::Json("dosc.bench.v1")},
+        {"benchmark", util::Json("train_step")},
+        {"isa", util::Json(nn::gemm::isa_name())},
+        {"smoke", util::Json(smoke())},
+        {"results", util::Json(std::move(entries))},
+    });
+    doc.save_file("BENCH_train_step.json", 2);
+  }
+  return 0;
+}

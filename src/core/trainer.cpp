@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "nn/parallel.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -171,13 +172,22 @@ TrainedPolicy train_distributed_policy(const sim::Scenario& scenario,
         }
       };
 
-      if (config.parallel_envs == 1) {
-        worker(0);
-      } else {
-        std::vector<std::thread> threads;
-        threads.reserve(config.parallel_envs);
-        for (std::size_t e = 0; e < config.parallel_envs; ++e) threads.emplace_back(worker, e);
-        for (std::thread& t : threads) t.join();
+      {
+        // The l rollout workers own the machine for this phase: any batch
+        // linear algebra they trigger runs inline instead of competing with
+        // them for cores. The synchronous update below (after the join) gets
+        // the full compute-thread budget back.
+        nn::ComputeThreadsGuard rollout_guard(1);
+        if (config.parallel_envs == 1) {
+          worker(0);
+        } else {
+          std::vector<std::thread> threads;
+          threads.reserve(config.parallel_envs);
+          for (std::size_t e = 0; e < config.parallel_envs; ++e) {
+            threads.emplace_back(worker, e);
+          }
+          for (std::thread& t : threads) t.join();
+        }
       }
       for (const std::exception_ptr& err : errors) {
         if (err) std::rethrow_exception(err);

@@ -1,0 +1,182 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "nn/parallel.hpp"
+#include "telemetry/registry.hpp"
+
+// Kernel bodies are included once per ISA level. The baseline instantiation
+// uses whatever the project-wide flags allow; the AVX2+FMA instantiation is
+// compiled with a function-level target override and selected at runtime via
+// cpuid, so the shipped binary stays portable while hot loops use FMA.
+#define DOSC_GEMM_NAMESPACE baseline
+#include "nn/gemm_kernels.inc"
+#undef DOSC_GEMM_NAMESPACE
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define DOSC_GEMM_HAVE_AVX2 1
+#pragma GCC push_options
+#pragma GCC target("avx2,fma")
+#define DOSC_GEMM_NAMESPACE avx2
+#define DOSC_GEMM_FMA 1
+#include "nn/gemm_kernels.inc"
+#undef DOSC_GEMM_FMA
+#undef DOSC_GEMM_NAMESPACE
+#pragma GCC pop_options
+#endif
+
+namespace dosc::nn::gemm {
+
+namespace {
+
+using RowsFn = void (*)(std::size_t row0, std::size_t row1, std::size_t n, std::size_t kc,
+                        const double* a, std::size_t a_rs, std::size_t a_ks, const double* b,
+                        std::size_t ldb, double* c, std::size_t ldc, bool accumulate,
+                        bool upper_only, double* panel);
+using RefFn = void (*)(std::size_t m, std::size_t n, std::size_t kc, const double* a,
+                       std::size_t lda, const double* b, std::size_t ldb, double* c,
+                       std::size_t ldc, bool accumulate);
+
+struct KernelSet {
+  RowsFn rows;
+  RefFn ref_nn;
+  RefFn ref_tn;
+  RefFn ref_nt;
+  std::size_t mr;
+  const char* isa;
+};
+
+const KernelSet& kernels() {
+  static const KernelSet set = [] {
+#ifdef DOSC_GEMM_HAVE_AVX2
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return KernelSet{&avx2::gemm_rows, &avx2::ref_nn, &avx2::ref_tn, &avx2::ref_nt,
+                       avx2::kMr, "avx2+fma"};
+    }
+#endif
+    return KernelSet{&baseline::gemm_rows, &baseline::ref_nn, &baseline::ref_tn,
+                     &baseline::ref_nt, baseline::kMr, "baseline"};
+  }();
+  return set;
+}
+
+std::atomic<std::uint64_t> g_flops{0};
+std::atomic<std::uint64_t> g_calls{0};
+
+void record(std::size_t m, std::size_t n, std::size_t k) {
+  const std::uint64_t flops = 2ULL * m * n * k;
+  g_flops.fetch_add(flops, std::memory_order_relaxed);
+  g_calls.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& flop_counter =
+        telemetry::MetricsRegistry::global().counter("nn.gemm.flops");
+    static telemetry::Counter& call_counter =
+        telemetry::MetricsRegistry::global().counter("nn.gemm.calls");
+    flop_counter.add(flops);
+    call_counter.add(1);
+  }
+}
+
+std::vector<double>& panel_buffer() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+
+std::vector<double>& transpose_buffer() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+
+/// Chunks are sized so each holds at least ~256k multiply-adds: smaller
+/// products are not worth a fork/join and run on the calling thread.
+constexpr std::size_t kMinMacsPerChunk = 256 * 1024;
+
+void run_tiled(std::size_t m, std::size_t n, std::size_t k, const double* a, std::size_t a_rs,
+               std::size_t a_ks, const double* b, std::size_t ldb, double* c, std::size_t ldc,
+               bool accumulate, bool upper_only = false) {
+  if (m == 0 || n == 0) return;
+  const KernelSet& ks = kernels();
+  const std::size_t per_row_macs = std::max<std::size_t>(1, n * k);
+  const std::size_t min_rows = (kMinMacsPerChunk + per_row_macs - 1) / per_row_macs;
+  parallel_for_rows(m, std::max(min_rows, ks.mr), ks.mr,
+                    [&](std::size_t row0, std::size_t row1) {
+                      std::vector<double>& panel = panel_buffer();
+                      if (panel.size() < k * 8) panel.resize(std::max<std::size_t>(k * 8, 64));
+                      ks.rows(row0, row1, n, k, a, a_rs, a_ks, b, ldb, c, ldc, accumulate,
+                              upper_only, panel.data());
+                    });
+}
+
+}  // namespace
+
+void nn(std::size_t m, std::size_t n, std::size_t k, const double* a, std::size_t lda,
+        const double* b, std::size_t ldb, double* c, std::size_t ldc, bool accumulate) {
+  record(m, n, k);
+  run_tiled(m, n, k, a, lda, 1, b, ldb, c, ldc, accumulate);
+}
+
+void tn(std::size_t m, std::size_t n, std::size_t k, const double* a, std::size_t lda,
+        const double* b, std::size_t ldb, double* c, std::size_t ldc, bool accumulate) {
+  record(m, n, k);
+  run_tiled(m, n, k, a, 1, lda, b, ldb, c, ldc, accumulate);
+}
+
+void nt(std::size_t m, std::size_t n, std::size_t k, const double* a, std::size_t lda,
+        const double* b, std::size_t ldb, double* c, std::size_t ldc, bool accumulate) {
+  record(m, n, k);
+  if (m == 0 || n == 0) return;
+  // B^T is materialised once into per-thread scratch (O(n*k), negligible next
+  // to the O(m*n*k) product), then the row-tiled NN path runs over it. The
+  // per-element reduction order is unchanged: ascending k, one accumulator.
+  std::vector<double>& bt = transpose_buffer();
+  if (bt.size() < n * k) bt.resize(n * k);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* brow = b + j * ldb;
+    for (std::size_t p = 0; p < k; ++p) bt[p * n + j] = brow[p];
+  }
+  run_tiled(m, n, k, a, lda, 1, bt.data(), n, c, ldc, accumulate);
+}
+
+void gram(std::size_t m, std::size_t k, const double* a, std::size_t lda, double* c,
+          std::size_t ldc) {
+  // The flop count records the algorithmic 2*m*m*k even though symmetry
+  // halves the arithmetic actually executed (standard SYRK accounting).
+  record(m, m, k);
+  run_tiled(m, m, k, a, 1, lda, a, lda, c, ldc, /*accumulate=*/false, /*upper_only=*/true);
+  // Mirror the strictly-lower triangle. x*y == y*x exactly in IEEE
+  // arithmetic, so the copied element is bit-identical to what a full
+  // product would have computed there.
+  for (std::size_t i = 1; i < m; ++i) {
+    for (std::size_t j = 0; j < i; ++j) c[i * ldc + j] = c[j * ldc + i];
+  }
+}
+
+void nn_reference(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, double* c,
+                  std::size_t ldc) {
+  record(m, n, k);
+  kernels().ref_nn(m, n, k, a, lda, b, ldb, c, ldc, false);
+}
+
+void tn_reference(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, double* c,
+                  std::size_t ldc) {
+  record(m, n, k);
+  kernels().ref_tn(m, n, k, a, lda, b, ldb, c, ldc, false);
+}
+
+void nt_reference(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, double* c,
+                  std::size_t ldc) {
+  record(m, n, k);
+  kernels().ref_nt(m, n, k, a, lda, b, ldb, c, ldc, false);
+}
+
+const char* isa_name() noexcept { return kernels().isa; }
+
+std::uint64_t flop_count() noexcept { return g_flops.load(std::memory_order_relaxed); }
+std::uint64_t call_count() noexcept { return g_calls.load(std::memory_order_relaxed); }
+
+}  // namespace dosc::nn::gemm

@@ -1,0 +1,69 @@
+// Low-level dense double-precision GEMM kernels behind the Matrix API.
+//
+// All operands are row-major with explicit leading dimensions, so callers
+// (e.g. KFAC) can compute directly into a sub-block of a larger matrix
+// without materialising intermediates. Kernels are cache-blocked and
+// register-tiled with packed B panels, runtime-dispatched to AVX2+FMA when
+// the CPU supports it (portable baseline otherwise), and row-partitioned
+// across the dosc::nn compute-thread pool for large products.
+//
+// Determinism contract: each output element is reduced over k in ascending
+// order by a single accumulator, and the reduction is never split across
+// threads or tiles. Results are therefore bit-identical across tile shapes
+// and thread counts. `accumulate == true` adds the fully reduced product to
+// C with one final addition per element (C += A*B), so it equals computing
+// the product separately and adding it.
+//
+// The *_reference kernels are the seed's naive loops (minus the
+// data-dependent zero-skip branches), compiled at the same ISA level as the
+// tiled kernels so FP contraction matches: tests may require exact equality
+// between tiled and reference results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dosc::nn::gemm {
+
+/// C[m x n] (+)= A[m x k] * B[k x n].
+void nn(std::size_t m, std::size_t n, std::size_t k, const double* a, std::size_t lda,
+        const double* b, std::size_t ldb, double* c, std::size_t ldc, bool accumulate);
+
+/// C[m x n] (+)= A^T * B with A stored [k x m].
+void tn(std::size_t m, std::size_t n, std::size_t k, const double* a, std::size_t lda,
+        const double* b, std::size_t ldb, double* c, std::size_t ldc, bool accumulate);
+
+/// C[m x n] (+)= A * B^T with B stored [n x k].
+void nt(std::size_t m, std::size_t n, std::size_t k, const double* a, std::size_t lda,
+        const double* b, std::size_t ldb, double* c, std::size_t ldc, bool accumulate);
+
+/// C[m x m] = A^T * A with A stored [k x m] (the Gram matrix): only the
+/// upper triangle is computed, the lower is mirrored. Bit-identical to
+/// tn(m, m, k, a, lda, a, lda, ...) at roughly half the arithmetic; used for
+/// the KFAC covariance factors.
+void gram(std::size_t m, std::size_t k, const double* a, std::size_t lda, double* c,
+          std::size_t ldc);
+
+/// Naive single-threaded oracles (overwrite only), same ISA/contraction as
+/// the tiled kernels.
+void nn_reference(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, double* c,
+                  std::size_t ldc);
+void tn_reference(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, double* c,
+                  std::size_t ldc);
+void nt_reference(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, double* c,
+                  std::size_t ldc);
+
+/// Which kernel set the runtime dispatch selected ("avx2+fma" / "baseline").
+const char* isa_name() noexcept;
+
+/// Cumulative 2*m*n*k over all kernel calls in this process (tiled and
+/// reference), and the number of calls. Always on (two relaxed atomic adds
+/// per call); also mirrored into the telemetry registry counters
+/// `nn.gemm.flops` / `nn.gemm.calls` when telemetry is enabled.
+std::uint64_t flop_count() noexcept;
+std::uint64_t call_count() noexcept;
+
+}  // namespace dosc::nn::gemm

@@ -1,34 +1,16 @@
 #include "nn/kfac.hpp"
 
 #include <cmath>
+#include <exception>
 #include <stdexcept>
+#include <vector>
+
+#include "nn/gemm.hpp"
+#include "nn/parallel.hpp"
 
 namespace dosc::nn {
 
 namespace {
-
-/// Layer input with the homogeneous bias coordinate appended: [batch, in+1].
-Matrix augment_input(const Matrix& input) {
-  Matrix a(input.rows(), input.cols() + 1);
-  for (std::size_t i = 0; i < input.rows(); ++i) {
-    for (std::size_t j = 0; j < input.cols(); ++j) a(i, j) = input(i, j);
-    a(i, input.cols()) = 1.0;
-  }
-  return a;
-}
-
-/// Stack weight and bias gradients into the combined [(in+1) x out] block
-/// matching the augmented-input convention.
-Matrix combined_grad(const DenseLayer& layer) {
-  Matrix g(layer.fan_in() + 1, layer.fan_out());
-  for (std::size_t i = 0; i < layer.fan_in(); ++i) {
-    for (std::size_t j = 0; j < layer.fan_out(); ++j) g(i, j) = layer.grad_weights(i, j);
-  }
-  for (std::size_t j = 0; j < layer.fan_out(); ++j) {
-    g(layer.fan_in(), j) = layer.grad_bias(0, j);
-  }
-  return g;
-}
 
 double trace(const Matrix& m) noexcept {
   double t = 0.0;
@@ -42,35 +24,60 @@ void Kfac::update_factors(Mlp& net) {
   auto& layers = net.layers();
   if (factors_.size() != layers.size()) factors_.resize(layers.size());
 
-  for (std::size_t li = 0; li < layers.size(); ++li) {
-    const DenseLayer& layer = layers[li];
+  for (const DenseLayer& layer : layers) {
     if (layer.input.empty() || layer.grad_preact.empty()) {
       throw std::logic_error("Kfac::update_factors: no cached forward/backward pass");
     }
-    const double batch = static_cast<double>(layer.input.rows());
+  }
 
-    Matrix aug = augment_input(layer.input);
-    Matrix a_batch = matmul_tn(aug, aug);
-    for (std::size_t i = 0; i < a_batch.size(); ++i) a_batch.data()[i] /= batch;
+  // Layers are independent given the caches, so their factor updates run on
+  // separate compute threads. Nothing below throws or allocates at steady
+  // state.
+  parallel_chunks(layers.size(), [&](std::size_t li) {
+    const DenseLayer& layer = layers[li];
+    LayerFactors& f = factors_[li];
+    const std::size_t batch_n = layer.input.rows();
+    const std::size_t in = layer.input.cols();
+    const double batch = static_cast<double>(batch_n);
+    const double* x = layer.input.data();
 
-    Matrix g_batch = matmul_tn(layer.grad_preact, layer.grad_preact);
+    // A_batch = augᵀ aug / batch with aug = [X | 1], computed without
+    // materialising aug: the in x in block is Xᵀ X written into the top-left
+    // of the (in+1)-wide destination, the border is X's column sums (ā's
+    // last coordinate is exactly 1), and the corner is the batch size.
+    Matrix& ab = f.a_batch;
+    ab.ensure_shape(in + 1, in + 1);
+    gemm::gram(in, batch_n, x, in, ab.data(), in + 1);
+    for (std::size_t j = 0; j < in; ++j) ab(in, j) = 0.0;
+    for (std::size_t r = 0; r < batch_n; ++r) {
+      const double* xrow = x + r * in;
+      double* sums = ab.data() + in * (in + 1);
+      for (std::size_t j = 0; j < in; ++j) sums[j] += xrow[j];
+    }
+    for (std::size_t j = 0; j < in; ++j) ab(j, in) = ab(in, j);
+    ab(in, in) = batch;
+    for (std::size_t i = 0; i < ab.size(); ++i) ab.data()[i] /= batch;
+
+    Matrix& gb = f.g_batch;
+    const Matrix& gp = layer.grad_preact;
+    gb.ensure_shape(gp.cols(), gp.cols());
+    gemm::gram(gp.cols(), gp.rows(), gp.data(), gp.cols(), gb.data(), gb.cols());
     // The Fisher uses per-sample gradient outer products scaled by the
     // batch; grad_preact already carries the 1/batch loss scaling applied
     // by the trainer, so rescale to per-sample magnitude.
-    for (std::size_t i = 0; i < g_batch.size(); ++i) {
-      g_batch.data()[i] *= batch * config_.fisher_coef;
+    for (std::size_t i = 0; i < gb.size(); ++i) {
+      gb.data()[i] *= batch * config_.fisher_coef;
     }
 
-    LayerFactors& f = factors_[li];
     if (!f.initialised) {
-      f.a = std::move(a_batch);
-      f.g = std::move(g_batch);
+      f.a = ab;
+      f.g = gb;
       f.initialised = true;
     } else {
-      ema_update(f.a, a_batch, config_.ema_decay);
-      ema_update(f.g, g_batch, config_.ema_decay);
+      ema_update(f.a, ab, config_.ema_decay);
+      ema_update(f.g, gb, config_.ema_decay);
     }
-  }
+  });
 }
 
 void Kfac::step(Mlp& net) {
@@ -78,31 +85,57 @@ void Kfac::step(Mlp& net) {
   if (factors_.size() != layers.size()) {
     throw std::logic_error("Kfac::step: call update_factors first");
   }
+  for (const LayerFactors& f : factors_) {
+    if (!f.initialised) throw std::logic_error("Kfac::step: factors not initialised");
+  }
 
   // Per-layer natural gradient v_l = A⁻¹ Ḡ_l G⁻¹ with factored damping
-  // (pi-splitting, Martens & Grosse 2015).
-  std::vector<Matrix> nat_grads(layers.size());
-  double quadratic = 0.0;  // vᵀ F̂ v, accumulated across layers
-  for (std::size_t li = 0; li < layers.size(); ++li) {
-    const LayerFactors& f = factors_[li];
-    if (!f.initialised) throw std::logic_error("Kfac::step: factors not initialised");
-    const Matrix grad = combined_grad(layers[li]);
+  // (pi-splitting, Martens & Grosse 2015). Layers are independent, so the
+  // damped solves run on separate compute threads; a throwing solve is
+  // captured and rethrown on the caller after the join.
+  std::vector<std::exception_ptr> errors(layers.size());
+  parallel_chunks(layers.size(), [&](std::size_t li) {
+    try {
+      const DenseLayer& layer = layers[li];
+      LayerFactors& f = factors_[li];
+      const std::size_t in = layer.fan_in();
+      const std::size_t out = layer.fan_out();
 
-    const double tr_a = std::max(trace(f.a) / static_cast<double>(f.a.rows()), 1e-12);
-    const double tr_g = std::max(trace(f.g) / static_cast<double>(f.g.rows()), 1e-12);
-    const double pi = std::sqrt(tr_a / tr_g);
-    const double damp = std::sqrt(config_.damping);
+      // Stack weight and bias gradients into the combined [(in+1) x out]
+      // block matching the augmented-input convention.
+      Matrix& grad = f.grad;
+      grad.ensure_shape(in + 1, out);
+      for (std::size_t i = 0; i < in; ++i) {
+        const double* src = layer.grad_weights.data() + i * out;
+        double* dst = grad.data() + i * out;
+        for (std::size_t j = 0; j < out; ++j) dst[j] = src[j];
+      }
+      for (std::size_t j = 0; j < out; ++j) grad(in, j) = layer.grad_bias(0, j);
 
-    Matrix half = cholesky_solve(f.a, grad, pi * damp);          // A⁻¹ Ḡ
-    Matrix natural = transpose(cholesky_solve(f.g, transpose(half), damp / pi));  // ... G⁻¹
+      const double tr_a = std::max(trace(f.a) / static_cast<double>(f.a.rows()), 1e-12);
+      const double tr_g = std::max(trace(f.g) / static_cast<double>(f.g.rows()), 1e-12);
+      const double pi = std::sqrt(tr_a / tr_g);
+      const double damp = std::sqrt(config_.damping);
 
-    // vᵀ F v ≈ tr(vᵀ A v G): cheap via the already-damped solves' inputs.
-    const Matrix av = matmul(f.a, natural);
-    const Matrix avg = matmul(av, f.g);
-    quadratic += dot(natural, avg);
+      Matrix half = cholesky_solve(f.a, grad, pi * damp);  // A⁻¹ Ḡ
+      f.natural = transpose(cholesky_solve(f.g, transpose(half), damp / pi));  // ... G⁻¹
 
-    nat_grads[li] = std::move(natural);
+      // vᵀ F v ≈ tr(vᵀ A v G): cheap via the already-damped solves' inputs.
+      const Matrix av = matmul(f.a, f.natural);
+      const Matrix avg = matmul(av, f.g);
+      f.quadratic = dot(f.natural, avg);
+    } catch (...) {
+      errors[li] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
   }
+
+  // vᵀ F̂ v, accumulated across layers in a fixed order so the trust region
+  // does not depend on which thread finished first.
+  double quadratic = 0.0;
+  for (const LayerFactors& f : factors_) quadratic += f.quadratic;
 
   // Trust region: eta = min(lr, sqrt(2 * kl_clip / (vᵀ F v))), plus a
   // Euclidean cap on the total step size.
@@ -111,7 +144,7 @@ void Kfac::step(Mlp& net) {
     eta = std::min(eta, std::sqrt(2.0 * config_.kl_clip / quadratic));
   }
   double v_norm_sq = 0.0;
-  for (const Matrix& v : nat_grads) v_norm_sq += dot(v, v);
+  for (const LayerFactors& f : factors_) v_norm_sq += dot(f.natural, f.natural);
   const double v_norm = std::sqrt(v_norm_sq);
   if (v_norm * eta > config_.step_norm_cap && v_norm > 0.0) {
     eta = config_.step_norm_cap / v_norm;
@@ -119,7 +152,7 @@ void Kfac::step(Mlp& net) {
 
   for (std::size_t li = 0; li < layers.size(); ++li) {
     DenseLayer& layer = layers[li];
-    const Matrix& v = nat_grads[li];
+    const Matrix& v = factors_[li].natural;
     for (std::size_t i = 0; i < layer.fan_in(); ++i) {
       for (std::size_t j = 0; j < layer.fan_out(); ++j) {
         layer.weights(i, j) -= eta * v(i, j);

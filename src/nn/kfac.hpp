@@ -46,6 +46,15 @@ class Kfac final : public Optimizer {
     Matrix a;  ///< [(in+1) x (in+1)] running input covariance
     Matrix g;  ///< [out x out] running pre-activation gradient covariance
     bool initialised = false;
+
+    // Reused per-layer workspaces (update_factors / step). Keeping them here
+    // makes the whole factor update allocation-free at steady state and lets
+    // layers be processed on different compute threads without sharing.
+    Matrix a_batch;     ///< this batch's input covariance
+    Matrix g_batch;     ///< this batch's gradient covariance
+    Matrix grad;        ///< stacked [ (in+1) x out ] weight+bias gradient
+    Matrix natural;     ///< per-layer natural gradient
+    double quadratic = 0.0;  ///< this layer's contribution to vᵀ F v
   };
 
   KfacConfig config_;

@@ -3,11 +3,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/gemm.hpp"
+
 namespace dosc::nn {
 
 namespace {
 void check(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(what);
+}
+
+void check_no_alias(const Matrix& c, const Matrix& a, const Matrix& b, const char* what) {
+  if (c.data() != nullptr && (c.data() == a.data() || c.data() == b.data())) {
+    throw std::invalid_argument(what);
+  }
 }
 }  // namespace
 
@@ -32,49 +40,76 @@ Matrix Matrix::identity(std::size_t n) {
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
-  check(a.cols() == b.rows(), "matmul: inner dimensions differ");
-  Matrix c(a.rows(), b.cols());
-  // i-k-j loop order: streams through b and c rows contiguously.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* crow = c.data() + i * c.cols();
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.data() + k * b.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  Matrix c;
+  matmul_into(c, a, b);
   return c;
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
-  check(a.rows() == b.rows(), "matmul_tn: row counts differ");
-  Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.data() + k * a.cols();
-    const double* brow = b.data() + k * b.cols();
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.data() + i * c.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  Matrix c;
+  matmul_tn_into(c, a, b);
   return c;
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_nt_into(c, a, b);
+  return c;
+}
+
+void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
+  check(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  check_no_alias(c, a, b, "matmul_into: c aliases an operand");
+  c.ensure_shape(a.rows(), b.cols());
+  gemm::nn(a.rows(), b.cols(), a.cols(), a.data(), a.cols(), b.data(), b.cols(), c.data(),
+           c.cols(), /*accumulate=*/false);
+}
+
+void matmul_tn_into(Matrix& c, const Matrix& a, const Matrix& b) {
+  check(a.rows() == b.rows(), "matmul_tn: row counts differ");
+  check_no_alias(c, a, b, "matmul_tn_into: c aliases an operand");
+  c.ensure_shape(a.cols(), b.cols());
+  gemm::tn(a.cols(), b.cols(), a.rows(), a.data(), a.cols(), b.data(), b.cols(), c.data(),
+           c.cols(), /*accumulate=*/false);
+}
+
+void matmul_nt_into(Matrix& c, const Matrix& a, const Matrix& b) {
+  check(a.cols() == b.cols(), "matmul_nt: column counts differ");
+  check_no_alias(c, a, b, "matmul_nt_into: c aliases an operand");
+  c.ensure_shape(a.rows(), b.rows());
+  gemm::nt(a.rows(), b.rows(), a.cols(), a.data(), a.cols(), b.data(), b.cols(), c.data(),
+           c.cols(), /*accumulate=*/false);
+}
+
+void matmul_tn_acc(Matrix& c, const Matrix& a, const Matrix& b) {
+  check(a.rows() == b.rows(), "matmul_tn_acc: row counts differ");
+  check(c.rows() == a.cols() && c.cols() == b.cols(), "matmul_tn_acc: bad destination shape");
+  check_no_alias(c, a, b, "matmul_tn_acc: c aliases an operand");
+  gemm::tn(a.cols(), b.cols(), a.rows(), a.data(), a.cols(), b.data(), b.cols(), c.data(),
+           c.cols(), /*accumulate=*/true);
+}
+
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
+  check(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  Matrix c(a.rows(), b.cols());
+  gemm::nn_reference(a.rows(), b.cols(), a.cols(), a.data(), a.cols(), b.data(), b.cols(),
+                     c.data(), c.cols());
+  return c;
+}
+
+Matrix matmul_tn_reference(const Matrix& a, const Matrix& b) {
+  check(a.rows() == b.rows(), "matmul_tn: row counts differ");
+  Matrix c(a.cols(), b.cols());
+  gemm::tn_reference(a.cols(), b.cols(), a.rows(), a.data(), a.cols(), b.data(), b.cols(),
+                     c.data(), c.cols());
+  return c;
+}
+
+Matrix matmul_nt_reference(const Matrix& a, const Matrix& b) {
   check(a.cols() == b.cols(), "matmul_nt: column counts differ");
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.data() + i * a.cols();
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.data() + j * b.cols();
-      double sum = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-      c(i, j) = sum;
-    }
-  }
+  gemm::nt_reference(a.rows(), b.rows(), a.cols(), a.data(), a.cols(), b.data(), b.cols(),
+                     c.data(), c.cols());
   return c;
 }
 
@@ -115,11 +150,16 @@ void add_row_vector(Matrix& a, const Matrix& row_vec) {
 
 Matrix column_sums(const Matrix& a) {
   Matrix s(1, a.cols());
+  add_column_sums(s, a);
+  return s;
+}
+
+void add_column_sums(Matrix& acc, const Matrix& a) {
+  check(acc.rows() == 1 && acc.cols() == a.cols(), "add_column_sums: shape mismatch");
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* arow = a.data() + i * a.cols();
-    for (std::size_t j = 0; j < a.cols(); ++j) s.data()[j] += arow[j];
+    for (std::size_t j = 0; j < a.cols(); ++j) acc.data()[j] += arow[j];
   }
-  return s;
 }
 
 double frobenius_norm(const Matrix& a) noexcept {
@@ -177,19 +217,31 @@ Matrix cholesky_solve(const Matrix& m, const Matrix& b, double damping) {
   }
   if (!ok) throw std::runtime_error("cholesky_solve: matrix not positive definite");
 
-  // Solve L y = b (forward), then L^T x = y (backward), column by column.
+  // Solve L y = b (forward), then L^T x = y (backward). All right-hand-side
+  // columns are processed together, row by row: each elimination step is a
+  // contiguous axpy over an entire row, which streams instead of striding
+  // down a column per RHS.
   Matrix x = b;
-  for (std::size_t col = 0; col < b.cols(); ++col) {
-    for (std::size_t i = 0; i < n; ++i) {
-      double v = x(i, col);
-      for (std::size_t k = 0; k < i; ++k) v -= l(i, k) * x(k, col);
-      x(i, col) = v / l(i, i);
+  const std::size_t cols = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    double* xi = x.data() + i * cols;
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = l(i, k);
+      const double* xk = x.data() + k * cols;
+      for (std::size_t c = 0; c < cols; ++c) xi[c] -= lik * xk[c];
     }
-    for (std::size_t i = n; i-- > 0;) {
-      double v = x(i, col);
-      for (std::size_t k = i + 1; k < n; ++k) v -= l(k, i) * x(k, col);
-      x(i, col) = v / l(i, i);
+    const double diag = l(i, i);
+    for (std::size_t c = 0; c < cols; ++c) xi[c] /= diag;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double* xi = x.data() + i * cols;
+    for (std::size_t k = i + 1; k < n; ++k) {
+      const double lki = l(k, i);
+      const double* xk = x.data() + k * cols;
+      for (std::size_t c = 0; c < cols; ++c) xi[c] -= lki * xk[c];
     }
+    const double diag = l(i, i);
+    for (std::size_t c = 0; c < cols; ++c) xi[c] /= diag;
   }
   return x;
 }

@@ -3,12 +3,20 @@
 // Kronecker-factored natural-gradient optimizer. Double precision
 // throughout — the networks are small (paper: 2x256 hidden units) and KFAC's
 // factor inversions benefit from the head-room.
+//
+// The matmul family runs on the tiled, optionally multi-threaded kernels in
+// nn/gemm.hpp (thread budget: set_compute_threads() / DOSC_THREADS, see
+// nn/parallel.hpp). Results are bit-identical for any thread count. The
+// *_into / *_acc variants write into caller-owned destinations and perform
+// no heap allocation once the destination has capacity — the training step
+// is built exclusively from these.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "nn/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace dosc::nn {
@@ -40,6 +48,15 @@ class Matrix {
     cols_ = cols;
     data_.assign(rows * cols, 0.0);
   }
+  /// Reshape without the zero-fill of resize(): contents are unspecified
+  /// unless the shape is unchanged (then this is a no-op). Reuses existing
+  /// capacity, so repeated calls at steady-state shapes never allocate.
+  void ensure_shape(std::size_t rows, std::size_t cols) {
+    if (rows == rows_ && cols == cols_) return;
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
 
   /// Xavier/Glorot-uniform initialisation: U[-sqrt(6/(in+out)), +...].
   static Matrix xavier(std::size_t rows, std::size_t cols, util::Rng& rng);
@@ -62,6 +79,22 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b);
 Matrix matmul_nt(const Matrix& a, const Matrix& b);
 Matrix transpose(const Matrix& a);
 
+/// Allocation-free GEMM destinations: c is reshaped (capacity permitting,
+/// without allocating) and overwritten. c must not alias a or b.
+void matmul_into(Matrix& c, const Matrix& a, const Matrix& b);
+void matmul_tn_into(Matrix& c, const Matrix& a, const Matrix& b);
+void matmul_nt_into(Matrix& c, const Matrix& a, const Matrix& b);
+/// c += A^T * B (c must already have shape [a.cols, b.cols]). The product is
+/// reduced independently and added to c with one addition per element.
+void matmul_tn_acc(Matrix& c, const Matrix& a, const Matrix& b);
+
+/// Naive single-threaded oracles for the tiled kernels (tests). Same
+/// floating-point contraction as the tiled kernels: results are expected to
+/// be bit-identical, not merely close.
+Matrix matmul_reference(const Matrix& a, const Matrix& b);
+Matrix matmul_tn_reference(const Matrix& a, const Matrix& b);
+Matrix matmul_nt_reference(const Matrix& a, const Matrix& b);
+
 /// a += scale * b (shapes must match).
 void add_scaled(Matrix& a, const Matrix& b, double scale = 1.0);
 /// a = a * decay + b * (1 - decay) (EMA update for KFAC factors).
@@ -72,6 +105,8 @@ Matrix hadamard(const Matrix& a, const Matrix& b);
 void add_row_vector(Matrix& a, const Matrix& row_vec);
 /// Sum over rows -> 1 x cols.
 Matrix column_sums(const Matrix& a);
+/// acc += column sums of a (acc must be 1 x a.cols). Allocation-free.
+void add_column_sums(Matrix& acc, const Matrix& a);
 double frobenius_norm(const Matrix& a) noexcept;
 double dot(const Matrix& a, const Matrix& b) noexcept;
 

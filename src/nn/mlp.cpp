@@ -38,16 +38,16 @@ void Mlp::apply_activation(Matrix& m, Activation act) noexcept {
   }
 }
 
-Matrix Mlp::forward(const Matrix& x) {
-  Matrix h = x;
+const Matrix& Mlp::forward(const Matrix& x) {
+  const Matrix* h = &x;
   for (DenseLayer& layer : layers_) {
-    layer.input = h;
-    h = matmul(h, layer.weights);
-    add_row_vector(h, layer.bias);
-    apply_activation(h, layer.activation);
-    layer.output = h;
+    layer.input = *h;  // copy-assign reuses the cache's existing capacity
+    matmul_into(layer.output, *h, layer.weights);
+    add_row_vector(layer.output, layer.bias);
+    apply_activation(layer.output, layer.activation);
+    h = &layer.output;
   }
-  return h;
+  return layers_.back().output;
 }
 
 Matrix Mlp::predict(const Matrix& x) const {
@@ -89,13 +89,15 @@ void Mlp::predict_row(std::span<const double> input, std::vector<double>& out,
   out = scratch.a;
 }
 
-Matrix Mlp::backward(const Matrix& grad_output) {
-  Matrix grad = grad_output;
+const Matrix& Mlp::backward(const Matrix& grad_output) {
+  if (layers_.back().input.empty()) throw std::logic_error("Mlp::backward without forward");
+  layers_.back().grad_preact = grad_output;  // copy into the reused cache
   for (std::size_t li = layers_.size(); li-- > 0;) {
     DenseLayer& layer = layers_[li];
     if (layer.input.empty()) throw std::logic_error("Mlp::backward without forward");
 
-    // d(loss)/d(pre-activation).
+    // d(loss)/d(pre-activation), in place on the cached gradient.
+    Matrix& grad = layer.grad_preact;
     switch (layer.activation) {
       case Activation::kLinear: break;
       case Activation::kTanh:
@@ -110,13 +112,12 @@ Matrix Mlp::backward(const Matrix& grad_output) {
         }
         break;
     }
-    layer.grad_preact = grad;
 
-    add_scaled(layer.grad_weights, matmul_tn(layer.input, grad));
-    add_scaled(layer.grad_bias, column_sums(grad));
-    if (li > 0) grad = matmul_nt(grad, layer.weights);
+    matmul_tn_acc(layer.grad_weights, layer.input, grad);
+    add_column_sums(layer.grad_bias, grad);
+    if (li > 0) matmul_nt_into(layers_[li - 1].grad_preact, grad, layer.weights);
   }
-  return grad;
+  return layers_.front().grad_preact;
 }
 
 void Mlp::zero_grad() {

@@ -46,7 +46,10 @@ class Mlp {
       std::uint64_t seed, double head_stddev = 0.01);
 
   /// Training-mode forward: caches per-layer inputs/outputs for backward().
-  Matrix forward(const Matrix& x);
+  /// Returns the last layer's cached output; the reference stays valid until
+  /// the next forward(). Layer caches are reused across calls, so at a
+  /// steady batch shape this performs no heap allocation.
+  const Matrix& forward(const Matrix& x);
   /// Inference-mode forward: no caches touched; safe to call concurrently
   /// from multiple threads on a shared const Mlp.
   Matrix predict(const Matrix& x) const;
@@ -63,8 +66,11 @@ class Mlp {
                    Scratch& scratch) const;
 
   /// Backprop d(loss)/d(output) through the cached forward pass,
-  /// accumulating parameter gradients. Returns d(loss)/d(input).
-  Matrix backward(const Matrix& grad_output);
+  /// accumulating parameter gradients. Returns the first layer's
+  /// pre-activation gradient (valid until the next backward()). Gradient
+  /// buffers are reused across calls: no heap allocation at a steady batch
+  /// shape.
+  const Matrix& backward(const Matrix& grad_output);
 
   void zero_grad();
   /// Global L2 norm of all parameter gradients.

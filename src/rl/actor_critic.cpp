@@ -7,7 +7,13 @@
 namespace dosc::rl {
 
 std::vector<double> softmax(std::span<const double> logits) {
-  std::vector<double> probs(logits.size());
+  std::vector<double> probs;
+  softmax_into(logits, probs);
+  return probs;
+}
+
+void softmax_into(std::span<const double> logits, std::vector<double>& probs) {
+  probs.resize(logits.size());
   const double max_logit = *std::max_element(logits.begin(), logits.end());
   double sum = 0.0;
   for (std::size_t i = 0; i < logits.size(); ++i) {
@@ -15,7 +21,6 @@ std::vector<double> softmax(std::span<const double> logits) {
     sum += probs[i];
   }
   for (double& p : probs) p /= sum;
-  return probs;
 }
 
 double log_softmax_at(std::span<const double> logits, std::size_t index) {

@@ -26,6 +26,10 @@ struct ActorCriticConfig {
 
 /// Numerically stable softmax of one logit row.
 std::vector<double> softmax(std::span<const double> logits);
+/// As softmax(), but writing into a caller-owned buffer (resized to fit):
+/// allocation-free once the buffer has capacity. The batch update uses this
+/// per row.
+void softmax_into(std::span<const double> logits, std::vector<double>& probs);
 /// log(softmax(logits))[index], computed stably.
 double log_softmax_at(std::span<const double> logits, std::size_t index);
 /// Entropy of softmax(logits) in nats.

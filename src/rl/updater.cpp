@@ -78,17 +78,17 @@ UpdateStats Updater::update(ActorCritic& net, const Batch& batch) {
   // ---- critic: V(o) vs discounted return ----
   nn::Mlp& critic = net.critic();
   critic.zero_grad();
-  const nn::Matrix values = critic.forward(batch.obs);  // [N x 1]
-  std::vector<double> advantages(n);
-  nn::Matrix grad_v(n, 1);
+  const nn::Matrix& values = critic.forward(batch.obs);  // [N x 1]
+  advantages_.resize(n);
+  grad_v_.ensure_shape(n, 1);
   for (std::size_t i = 0; i < n; ++i) {
     const double v = values(i, 0);
     const double err = v - batch.returns[i];
-    advantages[i] = batch.returns[i] - v;
+    advantages_[i] = batch.returns[i] - v;
     stats.value_loss += 0.5 * err * err * inv_n;
-    grad_v(i, 0) = config_.value_coef * err * inv_n;
+    grad_v_(i, 0) = config_.value_coef * err * inv_n;
   }
-  critic.backward(grad_v);
+  critic.backward(grad_v_);
   critic.clip_grad_norm(config_.max_grad_norm);
   if (critic_kfac_ != nullptr) {
     DOSC_TRACE_SCOPE("train", "kfac_critic");
@@ -103,37 +103,42 @@ UpdateStats Updater::update(ActorCritic& net, const Batch& batch) {
 
   // ---- advantage normalisation ----
   double adv_mean = 0.0;
-  for (const double a : advantages) adv_mean += a * inv_n;
+  for (const double a : advantages_) adv_mean += a * inv_n;
   stats.mean_advantage = adv_mean;
   if (config_.normalize_advantage && n > 1) {
     double var = 0.0;
-    for (const double a : advantages) var += (a - adv_mean) * (a - adv_mean);
+    for (const double a : advantages_) var += (a - adv_mean) * (a - adv_mean);
     const double stddev = std::sqrt(var / static_cast<double>(n - 1)) + 1e-8;
-    for (double& a : advantages) a = (a - adv_mean) / stddev;
+    for (double& a : advantages_) a = (a - adv_mean) / stddev;
   }
 
   // ---- actor: policy gradient + entropy bonus ----
   nn::Mlp& actor = net.actor();
   actor.zero_grad();
-  const nn::Matrix logits = actor.forward(batch.obs);  // [N x A]
+  const nn::Matrix& logits = actor.forward(batch.obs);  // [N x A]
   const std::size_t num_actions = logits.cols();
-  nn::Matrix grad_logits(n, num_actions);
+  grad_logits_.ensure_shape(n, num_actions);
   for (std::size_t i = 0; i < n; ++i) {
     const auto row = logits.row(i);
-    const std::vector<double> probs = softmax(row);
+    softmax_into(row, probs_);
     const double logp = log_softmax_at(row, static_cast<std::size_t>(batch.actions[i]));
-    const double entropy = softmax_entropy(row);
-    stats.policy_loss += -logp * advantages[i] * inv_n;
+    double entropy = 0.0;
+    for (const double p : probs_) {
+      if (p > 0.0) entropy -= p * std::log(p);
+    }
+    stats.policy_loss += -logp * advantages_[i] * inv_n;
     stats.entropy += entropy * inv_n;
+    double* grow = grad_logits_.data() + i * num_actions;
     for (std::size_t j = 0; j < num_actions; ++j) {
       const double onehot = (static_cast<int>(j) == batch.actions[i]) ? 1.0 : 0.0;
       // d(-logp*adv)/dz + entropy_coef * d(-H)/dz
-      const double pg = advantages[i] * (probs[j] - onehot);
-      const double ent = config_.entropy_coef * probs[j] * (std::log(std::max(probs[j], 1e-12)) + entropy);
-      grad_logits(i, j) = (pg + ent) * inv_n;
+      const double pg = advantages_[i] * (probs_[j] - onehot);
+      const double ent =
+          config_.entropy_coef * probs_[j] * (std::log(std::max(probs_[j], 1e-12)) + entropy);
+      grow[j] = (pg + ent) * inv_n;
     }
   }
-  actor.backward(grad_logits);
+  actor.backward(grad_logits_);
   actor.clip_grad_norm(config_.max_grad_norm);
   if (actor_kfac_ != nullptr) {
     DOSC_TRACE_SCOPE("train", "kfac_actor");

@@ -67,6 +67,13 @@ class Updater {
   nn::Kfac* actor_kfac_ = nullptr;   ///< non-owning views when ACKTR
   nn::Kfac* critic_kfac_ = nullptr;
   std::size_t updates_ = 0;
+
+  // Workspaces reused across update() calls: at a steady batch shape the
+  // whole update performs no per-step heap allocation in the gradient path.
+  nn::Matrix grad_v_;
+  nn::Matrix grad_logits_;
+  std::vector<double> advantages_;
+  std::vector<double> probs_;
 };
 
 }  // namespace dosc::rl

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
 
 #include "nn/mlp.hpp"
+#include "nn/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace dosc::nn {
@@ -163,6 +167,96 @@ TEST(Mlp, DeterministicInitialisationPerSeed) {
   const auto pa = a.get_parameters();
   const auto pb = b.get_parameters();
   for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(Mlp, ForwardBackwardBitIdenticalToReferenceKernels) {
+  // The workspace-reusing forward/backward must reproduce the seed's
+  // algorithm exactly: recompute both passes here with the naive *_reference
+  // GEMM kernels (bit-identical to the tiled ones by the determinism
+  // contract) and the same activation/bias loops, and require equality down
+  // to the last bit.
+  util::Rng rng(31);
+  Mlp net({6, 16, 9, 3}, Activation::kTanh, Activation::kLinear, 77);
+  const Matrix x = random_matrix(11, 6, rng);
+  const Matrix g = random_matrix(11, 3, rng);
+  net.zero_grad();
+  const Matrix& out = net.forward(x);
+  const Matrix& grad_in = net.backward(g);
+
+  auto identical = [](const Matrix& a, const Matrix& b) {
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+  };
+
+  // Forward, layer by layer.
+  std::vector<Matrix> inputs;
+  std::vector<Matrix> outputs;
+  Matrix h = x;
+  for (const DenseLayer& layer : net.layers()) {
+    inputs.push_back(h);
+    Matrix z = matmul_reference(h, layer.weights);
+    add_row_vector(z, layer.bias);
+    if (layer.activation == Activation::kTanh) {
+      for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] = std::tanh(z.data()[i]);
+    }
+    outputs.push_back(z);
+    h = z;
+  }
+  EXPECT_TRUE(identical(out, outputs.back()));
+
+  // Backward, layer by layer.
+  Matrix grad = g;
+  for (std::size_t li = net.layers().size(); li-- > 0;) {
+    const DenseLayer& layer = net.layers()[li];
+    if (layer.activation == Activation::kTanh) {
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        const double y = outputs[li].data()[i];
+        grad.data()[i] *= (1.0 - y * y);
+      }
+    }
+    EXPECT_TRUE(identical(layer.grad_weights, matmul_tn_reference(inputs[li], grad)))
+        << "grad_weights layer " << li;
+    EXPECT_TRUE(identical(layer.grad_bias, column_sums(grad))) << "grad_bias layer " << li;
+    if (li > 0) grad = matmul_nt_reference(grad, layer.weights);
+  }
+  // backward() returns the FIRST layer's pre-activation gradient, i.e. the
+  // loop state after applying layer 0's activation derivative.
+  EXPECT_TRUE(identical(grad_in, grad));
+}
+
+TEST(Mlp, ConcurrentPredictCallersAgreeWithSerial) {
+  // predict() and predict_row() are const and documented thread-safe; with
+  // the compute pool enabled, concurrent callers contend for it (losers run
+  // inline) and must still all produce the serial results bit for bit.
+  util::Rng rng(32);
+  Mlp net({8, 32, 32, 4}, Activation::kTanh, Activation::kLinear, 55);
+  const Matrix x = random_matrix(40, 8, rng);
+  const Matrix serial = net.predict(x);
+
+  ComputeThreadsGuard guard(2);
+  constexpr int kCallers = 4;
+  std::vector<int> ok(kCallers, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&, t] {
+      Mlp::Scratch scratch;
+      std::vector<double> row_out;
+      bool good = true;
+      for (int iter = 0; iter < 25 && good; ++iter) {
+        const Matrix y = net.predict(x);
+        good = y.rows() == serial.rows() && y.cols() == serial.cols() &&
+               std::memcmp(y.data(), serial.data(), y.size() * sizeof(double)) == 0;
+        net.predict_row(x.row(static_cast<std::size_t>(iter) % x.rows()), row_out, scratch);
+        for (std::size_t j = 0; j < row_out.size() && good; ++j) {
+          good = std::abs(row_out[j] -
+                          serial(static_cast<std::size_t>(iter) % x.rows(), j)) < 1e-12;
+        }
+      }
+      ok[t] = good ? 1 : 0;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kCallers; ++t) EXPECT_EQ(ok[t], 1) << "caller " << t;
 }
 
 TEST(Mlp, TanhOutputsBounded) {
