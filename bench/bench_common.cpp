@@ -116,7 +116,7 @@ const char* algo_name(Algo algo) {
 AlgoStats evaluate(const sim::Scenario& scenario, Algo algo, const BenchScale& scale,
                    const core::TrainedPolicy* policy, std::uint64_t seed_base) {
   AlgoStats stats;
-  const sim::Scenario eval_scenario = core::scenario_with_end_time(scenario, scale.eval_time);
+  const sim::Scenario eval_scenario = scenario.with_end_time(scale.eval_time);
 
   std::optional<rl::ActorCritic> net;
   if (policy != nullptr) net.emplace(policy->instantiate());

@@ -4,7 +4,8 @@
 //   dosc_cli topology <name>                     print stats + JSON export
 //   dosc_cli train <scenario.json> <policy.json> [--iterations N] [--seeds K]
 //   dosc_cli eval  <scenario.json> <algo> [--policy policy.json]
-//                  [--episodes N] [--time MS]    algo: dist|gcasp|sp
+//                  [--episodes N] [--time MS] [--audit]   algo: dist|gcasp|sp
+//   dosc_cli fuzz  [--seeds N] [--time MS]       differential fuzzing
 //   dosc_cli trace <out.json> [--seed S] [--horizon MS]
 //
 // Global flags (any subcommand, default off):
@@ -22,6 +23,10 @@
 
 #include "baselines/gcasp.hpp"
 #include "baselines/shortest_path.hpp"
+#include "check/auditor.hpp"
+#include "check/differential.hpp"
+#include "check/digest.hpp"
+#include "check/fuzzer.hpp"
 #include "core/policy_io.hpp"
 #include "core/trainer.hpp"
 #include "net/topology_io.hpp"
@@ -42,7 +47,8 @@ int usage() {
                "  dosc_cli topology <abilene|bt_europe|china_telecom|interroute>\n"
                "  dosc_cli train <scenario.json> <policy.json> [--iterations N] [--seeds K]\n"
                "  dosc_cli eval <scenario.json> <dist|gcasp|sp> [--policy p.json]\n"
-               "                [--episodes N] [--time MS]\n"
+               "                [--episodes N] [--time MS] [--audit]\n"
+               "  dosc_cli fuzz [--seeds N] [--time MS]\n"
                "  dosc_cli trace <out.json> [--seed S] [--horizon MS]\n"
                "global flags (default off):\n"
                "  --log-level <trace|debug|info|warn|error|off>\n"
@@ -101,6 +107,13 @@ const char* flag_str(int argc, char** argv, const char* name, const char* fallba
   return fallback;
 }
 
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
 sim::Scenario load_scenario(const std::string& path) {
   const sim::ScenarioConfig config =
       sim::ScenarioConfig::from_json(util::Json::load_file(path));
@@ -147,15 +160,24 @@ int cmd_eval(int argc, char** argv) {
   const std::string algo = argv[3];
   const std::size_t episodes = static_cast<std::size_t>(flag(argc, argv, "--episodes", 5));
   const double time = flag(argc, argv, "--time", 5000.0);
-  const sim::Scenario eval = core::scenario_with_end_time(scenario, time);
+  const bool audit = has_flag(argc, argv, "--audit");
+  const sim::Scenario eval = scenario.with_end_time(time);
 
   util::RunningStats success;
   util::RunningStats delay;
+  std::uint64_t audit_violations = 0;
   for (std::size_t e = 0; e < episodes; ++e) {
     sim::Simulator sim(eval, 424242 + e);
     // With telemetry on, time every decision so the snapshot's
     // sim.decision_us histogram is populated.
     sim.enable_decision_timing(telemetry::enabled());
+    // Under --audit, every event is invariant-checked and the episode is
+    // pinned to its golden event-stream digest.
+    check::InvariantAuditor auditor;
+    check::EventDigest digest;
+    check::HookChain hooks{&auditor, &digest};
+    if (audit) sim.set_audit_hook(&hooks);
+    sim::FlowObserver* observer = audit ? &auditor : nullptr;
     sim::SimMetrics m;
     if (algo == "dist") {
       const char* policy_path = flag_str(argc, argv, "--policy", nullptr);
@@ -166,23 +188,58 @@ int cmd_eval(int argc, char** argv) {
       static const core::TrainedPolicy policy = core::load_policy(policy_path);
       static const rl::ActorCritic net = policy.instantiate();
       core::DistributedDrlCoordinator c(net, scenario.network().max_degree());
-      m = sim.run(c);
+      m = sim.run(c, observer);
     } else if (algo == "gcasp") {
       baselines::GcaspCoordinator c;
-      m = sim.run(c);
+      m = sim.run(c, observer);
     } else if (algo == "sp") {
       baselines::ShortestPathCoordinator c;
-      m = sim.run(c);
+      m = sim.run(c, observer);
     } else {
       return usage();
     }
     success.add(m.success_ratio());
     if (m.e2e_delay.count() > 0) delay.add(m.e2e_delay.mean());
+    if (audit) {
+      std::printf("  episode %zu: digest %016llx, %s\n", e,
+                  static_cast<unsigned long long>(digest.digest()), auditor.report().c_str());
+      audit_violations += auditor.total_violations();
+    }
   }
   std::printf("%s on '%s': success %.3f +- %.3f, avg e2e %.1f ms (%zu episodes x %.0f ms)\n",
               algo.c_str(), scenario.config().name.c_str(), success.mean(), success.stddev(),
               delay.mean(), episodes, time);
+  if (audit_violations != 0) {
+    std::fprintf(stderr, "audit FAILED: %llu invariant violation(s)\n",
+                 static_cast<unsigned long long>(audit_violations));
+    return 1;
+  }
   return 0;
+}
+
+int cmd_fuzz(int argc, char** argv) {
+  std::size_t seeds = static_cast<std::size_t>(flag(argc, argv, "--seeds", 25));
+  if (const char* env = std::getenv("DOSC_FUZZ_SEEDS")) {
+    seeds = static_cast<std::size_t>(std::atoll(env));
+  }
+  const double time = flag(argc, argv, "--time", 0.0);  // 0 = fuzzer's choice
+
+  const check::ScenarioFuzzer fuzzer;
+  std::size_t failed = 0;
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    sim::Scenario scenario = fuzzer.make(seed);
+    if (time > 0.0) scenario = scenario.with_end_time(time);
+    const check::DifferentialResult result = check::run_differential(scenario);
+    if (result.ok()) {
+      std::printf("seed %zu ok (%s, %zu nodes)\n", seed, scenario.config().name.c_str(),
+                  scenario.network().num_nodes());
+    } else {
+      ++failed;
+      std::printf("seed %zu FAILED:\n%s", seed, result.report().c_str());
+    }
+  }
+  std::printf("fuzz: %zu/%zu seeds clean\n", seeds - failed, seeds);
+  return failed == 0 ? 0 : 1;
 }
 
 int cmd_trace(int argc, char** argv) {
@@ -215,6 +272,8 @@ int main(int argc, char** argv) {
       result = cmd_train(argc, argv);
     } else if (command == "eval") {
       result = cmd_eval(argc, argv);
+    } else if (command == "fuzz") {
+      result = cmd_fuzz(argc, argv);
     } else if (command == "trace") {
       result = cmd_trace(argc, argv);
     } else {

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   const rl::ActorCritic net = policy.instantiate();
 
   std::printf("Evaluating all algorithms on 3 x 5000 ms episodes...\n\n");
-  const sim::Scenario eval = core::scenario_with_end_time(scenario, 5000.0);
+  const sim::Scenario eval = scenario.with_end_time(5000.0);
   util::RunningStats drl;
   util::RunningStats gcasp;
   util::RunningStats sp;

@@ -22,7 +22,7 @@ namespace {
 
 double evaluate_baseline(const sim::Scenario& scenario, sim::Coordinator& coordinator,
                          std::size_t episodes, double episode_time) {
-  const sim::Scenario eval = core::scenario_with_end_time(scenario, episode_time);
+  const sim::Scenario eval = scenario.with_end_time(episode_time);
   double total = 0.0;
   for (std::size_t e = 0; e < episodes; ++e) {
     sim::Simulator sim(eval, 9000 + e);

@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
 
   // 4. Online coordination under the bursty traffic vs GCASP.
   std::printf("\nOnline evaluation (3 episodes x 5000 ms, unseen seeds):\n");
-  const sim::Scenario eval = core::scenario_with_end_time(scenario, 5000.0);
+  const sim::Scenario eval = scenario.with_end_time(5000.0);
   sim::SimMetrics drl_total;
   sim::SimMetrics gcasp_total;
   for (std::uint64_t seed = 500; seed < 503; ++seed) {

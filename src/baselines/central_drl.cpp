@@ -196,7 +196,7 @@ core::EvalResult evaluate_central_policy(const sim::Scenario& scenario,
                                          const CentralTrainingConfig& config,
                                          std::size_t episodes, double episode_time,
                                          std::uint64_t seed_base) {
-  const sim::Scenario eval_scenario = core::scenario_with_end_time(scenario, episode_time);
+  const sim::Scenario eval_scenario = scenario.with_end_time(episode_time);
   util::RunningStats success;
   util::RunningStats rewards;
   util::RunningStats delays;
@@ -216,7 +216,7 @@ core::TrainedPolicy train_central_policy(const sim::Scenario& scenario,
   const std::size_t obs_dim = central_observation_dim(scenario);
   const std::size_t num_actions = scenario.network().num_nodes();
   const sim::Scenario train_scenario =
-      core::scenario_with_end_time(scenario, config.train_episode_time);
+      scenario.with_end_time(config.train_episode_time);
 
   core::TrainedPolicy best;
   best.max_degree = scenario.network().max_degree();

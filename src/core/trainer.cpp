@@ -29,10 +29,13 @@ rl::ActorCritic TrainedPolicy::instantiate() const {
   return net;
 }
 
-sim::Scenario scenario_with_end_time(const sim::Scenario& scenario, double end_time) {
-  sim::ScenarioConfig config = scenario.config();
-  config.end_time = end_time;
-  return sim::Scenario(std::move(config), scenario.catalog(), net::Network(scenario.network()));
+std::uint64_t episode_seed(std::uint64_t base, std::size_t seed_index, std::size_t iteration,
+                           std::size_t env_index) noexcept {
+  std::uint64_t h = base;
+  h = h * 0x9E3779B97F4A7C15ULL + seed_index + 1;
+  h = h * 0xBF58476D1CE4E5B9ULL + iteration + 1;
+  h = h * 0x94D049BB133111EBULL + env_index + 1;
+  return h ^ (h >> 31);
 }
 
 namespace {
@@ -66,23 +69,13 @@ class RewardTally final : public sim::FlowObserver {
   double total_ = 0.0;
 };
 
-/// Deterministic per-episode seed, decorrelated across (seed, iter, env).
-std::uint64_t episode_seed(std::uint64_t base, std::size_t seed_index, std::size_t iteration,
-                           std::size_t env_index) {
-  std::uint64_t h = base;
-  h = h * 0x9E3779B97F4A7C15ULL + seed_index + 1;
-  h = h * 0xBF58476D1CE4E5B9ULL + iteration + 1;
-  h = h * 0x94D049BB133111EBULL + env_index + 1;
-  return h ^ (h >> 31);
-}
-
 }  // namespace
 
 EvalResult evaluate_policy(const sim::Scenario& scenario, const rl::ActorCritic& policy,
                            const RewardConfig& reward, std::size_t episodes,
                            double episode_time, std::uint64_t seed_base,
                            ObservationMask mask) {
-  const sim::Scenario eval_scenario = scenario_with_end_time(scenario, episode_time);
+  const sim::Scenario eval_scenario = scenario.with_end_time(episode_time);
   EvalResult result;
   util::RunningStats success;
   util::RunningStats rewards;
@@ -112,8 +105,7 @@ TrainedPolicy train_distributed_policy(const sim::Scenario& scenario,
   const std::size_t max_degree = scenario.network().max_degree();
   const std::size_t obs_dim = observation_dim(max_degree);
   const std::size_t num_actions = max_degree + 1;
-  const sim::Scenario train_scenario =
-      scenario_with_end_time(scenario, config.train_episode_time);
+  const sim::Scenario train_scenario = scenario.with_end_time(config.train_episode_time);
 
   TrainedPolicy best;
   best.max_degree = max_degree;

@@ -81,8 +81,11 @@ EvalResult evaluate_policy(const sim::Scenario& scenario, const rl::ActorCritic&
                            double episode_time, std::uint64_t seed_base,
                            ObservationMask mask = {});
 
-/// Copy a scenario with a different episode horizon (training episodes are
-/// shorter than the 20000-step evaluation episodes).
-sim::Scenario scenario_with_end_time(const sim::Scenario& scenario, double end_time);
+/// Deterministic per-episode simulator seed, decorrelated across
+/// (training seed, iteration, environment) so the l parallel workers of an
+/// iteration — and consecutive iterations — see independent traffic. Pure
+/// function of its inputs; exposed so tests can pin the stream contract.
+std::uint64_t episode_seed(std::uint64_t base, std::size_t seed_index, std::size_t iteration,
+                           std::size_t env_index) noexcept;
 
 }  // namespace dosc::core

@@ -1,0 +1,68 @@
+// Event-level audit surface of the simulator.
+//
+// The event machinery itself (kinds, the event record, the dispatch order)
+// is part of the simulator's observable contract: validation tooling
+// (src/check/) pins behaviour at this granularity, so the types live here,
+// publicly, instead of inside Simulator. An AuditHook installed via
+// Simulator::set_audit_hook sees every event exactly once, in dispatch
+// order, *before* it is handled — at that point the simulator state is the
+// consistent post-state of the previous event, which is what per-event
+// invariant checks need. With no hook installed the cost on the event loop
+// is a single pointer test.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/flow.hpp"
+
+namespace dosc::sim {
+
+class Simulator;
+
+/// Every kind of event the simulator schedules. The order is part of the
+/// golden-digest contract; append new kinds at the end.
+enum class EventKind : std::uint8_t {
+  kTrafficArrival,   ///< a = ingress index
+  kFlowArrival,      ///< flow at node a (needs decision / may complete)
+  kProcessingDone,   ///< flow finished processing at node a
+  kHoldRelease,      ///< a = hold index
+  kInstanceIdle,     ///< a = instance index, flow field = idle epoch
+  kFlowExpiry,
+  kPeriodic,
+  kFailureStart,     ///< a = 0 node / 1 link, b = element id
+  kFailureEnd,
+};
+
+inline constexpr std::size_t kNumEventKinds = 9;
+
+const char* event_kind_name(EventKind kind) noexcept;
+
+/// One scheduled event. Events are ordered by (time, seq); seq is the
+/// scheduling order, so simultaneous events resolve deterministically.
+struct SimEvent {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::kFlowArrival;
+  FlowId flow = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// Observer of the raw event stream (validation / digest tooling). Hooks
+/// must not mutate the simulator; they receive it const.
+class AuditHook {
+ public:
+  virtual ~AuditHook() = default;
+
+  /// Called once from Simulator::run before any event is dispatched.
+  virtual void on_episode_start(const Simulator& /*sim*/) {}
+
+  /// Called for every event after its time is adopted and before it is
+  /// handled: `sim` is the consistent state left by the previous event.
+  virtual void on_event(const Simulator& /*sim*/, const SimEvent& /*event*/) {}
+
+  /// Called after the event queue has drained, before run() returns.
+  virtual void on_episode_end(const Simulator& /*sim*/) {}
+};
+
+}  // namespace dosc::sim

@@ -109,6 +109,12 @@ Scenario::Scenario(ScenarioConfig config, ServiceCatalog catalog, net::Network n
   validate();
 }
 
+Scenario Scenario::with_end_time(double end_time) const {
+  ScenarioConfig config = config_;
+  config.end_time = end_time;
+  return Scenario(std::move(config), catalog_, net::Network(*network_));
+}
+
 void Scenario::validate() const {
   if (config_.ingress.empty()) throw std::invalid_argument("Scenario: no ingress nodes");
   for (const net::NodeId v : config_.ingress) {

@@ -80,6 +80,10 @@ class Scenario {
   /// Size of the action space: Delta_G + 1 (local + one per neighbour slot).
   std::size_t num_actions() const noexcept { return network_->max_degree() + 1; }
 
+  /// Copy of this scenario with a different traffic-generation horizon
+  /// (training episodes are shorter than the 20000 ms evaluation episodes).
+  Scenario with_end_time(double end_time) const;
+
  private:
   void validate() const;
 

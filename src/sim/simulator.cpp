@@ -16,6 +16,21 @@ namespace {
 constexpr double kCapacityEps = 1e-9;
 }  // namespace
 
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kTrafficArrival: return "traffic_arrival";
+    case EventKind::kFlowArrival: return "flow_arrival";
+    case EventKind::kProcessingDone: return "processing_done";
+    case EventKind::kHoldRelease: return "hold_release";
+    case EventKind::kInstanceIdle: return "instance_idle";
+    case EventKind::kFlowExpiry: return "flow_expiry";
+    case EventKind::kPeriodic: return "periodic";
+    case EventKind::kFailureStart: return "failure_start";
+    case EventKind::kFailureEnd: return "failure_end";
+  }
+  return "?";
+}
+
 const char* drop_reason_name(DropReason reason) noexcept {
   switch (reason) {
     case DropReason::kNodeOverload: return "node_overload";
@@ -77,6 +92,7 @@ SimMetrics Simulator::run(Coordinator& coordinator, FlowObserver* observer) {
 
   const ScenarioConfig& config = scenario_.config();
   coordinator.on_episode_start(*this);
+  if (audit_hook_ != nullptr) audit_hook_->on_episode_start(*this);
 
   // Seed the event queue: first arrival per ingress, plus periodic callbacks
   // for coordinators that use them (the centralized baseline's monitoring).
@@ -101,6 +117,7 @@ SimMetrics Simulator::run(Coordinator& coordinator, FlowObserver* observer) {
     time_ = event.time;
     ++events_by_kind_[static_cast<std::size_t>(event.kind)];
     DOSC_TRACE_SCOPE("sim", event_kind_name(event.kind));
+    if (audit_hook_ != nullptr) audit_hook_->on_event(*this, event);
 
     switch (event.kind) {
       case EventKind::kTrafficArrival: handle_traffic_arrival(event); break;
@@ -130,6 +147,7 @@ SimMetrics Simulator::run(Coordinator& coordinator, FlowObserver* observer) {
         break;
     }
   }
+  if (audit_hook_ != nullptr) audit_hook_->on_episode_end(*this);
   coordinator_ = nullptr;
   observer_ = nullptr;
   if (telemetry::enabled()) flush_telemetry();
@@ -400,21 +418,6 @@ void Simulator::drop(Flow& flow, DropReason reason) {
     on_instance_maybe_idle(flow.processing_instance);
   }
   flows_.erase(flow.id);
-}
-
-const char* Simulator::event_kind_name(EventKind kind) noexcept {
-  switch (kind) {
-    case EventKind::kTrafficArrival: return "traffic_arrival";
-    case EventKind::kFlowArrival: return "flow_arrival";
-    case EventKind::kProcessingDone: return "processing_done";
-    case EventKind::kHoldRelease: return "hold_release";
-    case EventKind::kInstanceIdle: return "instance_idle";
-    case EventKind::kFlowExpiry: return "flow_expiry";
-    case EventKind::kPeriodic: return "periodic";
-    case EventKind::kFailureStart: return "failure_start";
-    case EventKind::kFailureEnd: return "failure_end";
-  }
-  return "?";
 }
 
 void Simulator::flush_telemetry() const {

@@ -20,6 +20,7 @@
 
 #include "net/network.hpp"
 #include "net/shortest_paths.hpp"
+#include "sim/audit.hpp"
 #include "sim/coordinator.hpp"
 #include "sim/flow.hpp"
 #include "sim/metrics.hpp"
@@ -40,6 +41,11 @@ class Simulator {
   /// algorithms — replaces the per-coordinator timing members. Off by
   /// default: an untimed run performs no clock reads on the decide path.
   void enable_decision_timing(bool on) noexcept { time_decisions_ = on; }
+
+  /// Install an event-level audit hook (validation / digest tooling; see
+  /// sim/audit.hpp). Must be set before run(); pass nullptr to detach. The
+  /// event loop pays one pointer test per event when no hook is installed.
+  void set_audit_hook(AuditHook* hook) noexcept { audit_hook_ = hook; }
 
   // --- state accessors (valid inside Coordinator/FlowObserver callbacks) ---
   double time() const noexcept { return time_; }
@@ -71,6 +77,29 @@ class Simulator {
     return instances_.at(instance_index(v, c)).exists;
   }
 
+  // --- audit accessors (cheap snapshots for invariant checking) ---
+  /// Flows generated but neither completed nor dropped yet.
+  std::size_t num_active_flows() const noexcept { return flows_.size(); }
+  /// The live flow with this id, or nullptr once completed/dropped.
+  const Flow* find_flow(FlowId id) const {
+    const auto it = flows_.find(id);
+    return it == flows_.end() ? nullptr : &it->second;
+  }
+  /// Lifecycle state of the (v, c) instance slot.
+  struct InstanceState {
+    bool exists = false;
+    double ready_time = 0.0;  ///< startup completes at this time
+    std::uint32_t active = 0; ///< flows currently being processed here
+  };
+  InstanceState instance_state(net::NodeId v, ComponentId c) const {
+    const Instance& i = instances_.at(instance_index(v, c));
+    return {i.exists, i.ready_time, i.active};
+  }
+  /// Events dispatched so far, by EventKind.
+  const std::array<std::uint64_t, kNumEventKinds>& events_by_kind() const noexcept {
+    return events_by_kind_;
+  }
+
   /// True once the flow traversed its whole chain (c_f = ∅).
   bool fully_processed(const Flow& flow) const {
     return flow.chain_pos >= service_of(flow).length();
@@ -84,26 +113,10 @@ class Simulator {
   ComponentId requested_component(const Flow& flow) const;
 
  private:
-  enum class EventKind : std::uint8_t {
-    kTrafficArrival,   ///< a = ingress index
-    kFlowArrival,      ///< flow at node a (needs decision / may complete)
-    kProcessingDone,   ///< flow finished processing at node a
-    kHoldRelease,      ///< a = hold index
-    kInstanceIdle,     ///< a = node, b = component, flow = idle epoch
-    kFlowExpiry,
-    kPeriodic,
-    kFailureStart,     ///< a = 0 node / 1 link, b = element id
-    kFailureEnd,
-  };
+  // Event kinds and the event record are public (sim/audit.hpp) so audit
+  // hooks can observe the raw stream; the queue stays private.
+  using Event = SimEvent;
 
-  struct Event {
-    double time = 0.0;
-    std::uint64_t seq = 0;
-    EventKind kind = EventKind::kFlowArrival;
-    FlowId flow = 0;
-    std::uint32_t a = 0;
-    std::uint32_t b = 0;
-  };
   struct EventOrder {
     bool operator()(const Event& x, const Event& y) const noexcept {
       if (x.time != y.time) return x.time > y.time;
@@ -165,9 +178,6 @@ class Simulator {
   /// registry (no-op unless telemetry::enabled()).
   void flush_telemetry() const;
 
-  static constexpr std::size_t kNumEventKinds = 9;
-  static const char* event_kind_name(EventKind kind) noexcept;
-
   std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
   double time_ = 0.0;
@@ -186,6 +196,7 @@ class Simulator {
 
   Coordinator* coordinator_ = nullptr;
   FlowObserver* observer_ = nullptr;
+  AuditHook* audit_hook_ = nullptr;
   SimMetrics metrics_;
 };
 

@@ -1,0 +1,41 @@
+// Randomized differential smoke: N fuzzed scenarios, each executed by all
+// four coordinators under the full InvariantAuditor, with cross-checked
+// accounting. ctest label: fuzz. DOSC_FUZZ_SEEDS scales the seed count
+// (default 25; CI runs this under ASan/UBSan).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/differential.hpp"
+#include "check/fuzzer.hpp"
+
+namespace dosc::check {
+namespace {
+
+std::size_t fuzz_seeds() {
+  if (const char* env = std::getenv("DOSC_FUZZ_SEEDS")) {
+    const long long n = std::atoll(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 25;
+}
+
+TEST(Fuzz, DifferentialSweepIsClean) {
+  const ScenarioFuzzer fuzzer;
+  const std::size_t seeds = fuzz_seeds();
+  std::size_t failed = 0;
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    const sim::Scenario scenario = fuzzer.make(seed);
+    const DifferentialResult result = run_differential(scenario);
+    if (!result.ok()) {
+      ++failed;
+      ADD_FAILURE() << "fuzz seed " << seed << " (" << scenario.config().name << ", "
+                    << scenario.network().num_nodes() << " nodes):\n"
+                    << result.report();
+    }
+  }
+  EXPECT_EQ(failed, 0u) << failed << "/" << seeds << " fuzz seeds violated invariants";
+}
+
+}  // namespace
+}  // namespace dosc::check

@@ -107,7 +107,7 @@ TEST(OnlineTraining, AdaptsAnOfflinePolicyToDrift) {
 
   OnlineTrainerConfig config;
   config.update_period = 300.0;
-  const sim::Scenario live = scenario_with_end_time(drifted, 15000.0);
+  const sim::Scenario live = drifted.with_end_time(15000.0);
   OnlineTrainingCoordinator coordinator(incumbent.instantiate(), config,
                                         drifted.network().max_degree(), util::Rng(10));
   sim::Simulator sim(live, 11);

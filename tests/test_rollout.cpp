@@ -121,6 +121,53 @@ TEST(TrajectoryBuffer, DrainChecksObsDim) {
   EXPECT_THROW(buffer.drain(net, 3), std::invalid_argument);
 }
 
+TEST(TrajectoryBuffer, DrainKeepsOpenTrajectories) {
+  const ActorCritic net = make_net();
+  TrajectoryBuffer buffer(0.9);
+  buffer.record_decision(1, obs(0.1), 0);
+  buffer.record_reward(1, 2.0);
+  buffer.finish(1);
+  buffer.record_decision(2, obs(0.5), 1);  // still open
+  buffer.record_reward(2, 7.0);
+
+  // Draining hands out only the finished trajectory; flow 2 stays open and
+  // keeps accruing until its own terminal event.
+  const Batch first = buffer.drain(net, 3);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_DOUBLE_EQ(first.returns[0], 2.0);
+  EXPECT_EQ(buffer.open_trajectories(), 1u);
+
+  buffer.record_reward(2, 1.0);
+  buffer.finish(2);
+  const Batch second = buffer.drain(net, 3);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_DOUBLE_EQ(second.returns[0], 8.0);
+  EXPECT_EQ(buffer.open_trajectories(), 0u);
+}
+
+TEST(TrajectoryBuffer, HandComputedFourStepReturns) {
+  // Full backward recursion R_t = r_t + gamma * R_{t+1} on a 4-step
+  // trajectory with gamma = 0.9, checked against hand-computed values.
+  const ActorCritic net = make_net();
+  TrajectoryBuffer buffer(0.9);
+  const double rewards[4] = {1.0, -2.0, 0.5, 10.0};
+  for (int t = 0; t < 4; ++t) {
+    buffer.record_decision(11, obs(0.1 * t), t % 2);
+    buffer.record_reward(11, rewards[t]);
+  }
+  buffer.finish(11);
+  const Batch batch = buffer.drain(net, 3);
+  ASSERT_EQ(batch.size(), 4u);
+  const double r3 = 10.0;
+  const double r2 = 0.5 + 0.9 * r3;   // 9.5
+  const double r1 = -2.0 + 0.9 * r2;  // 6.55
+  const double r0 = 1.0 + 0.9 * r1;   // 6.895
+  EXPECT_DOUBLE_EQ(batch.returns[3], r3);
+  EXPECT_DOUBLE_EQ(batch.returns[2], r2);
+  EXPECT_DOUBLE_EQ(batch.returns[1], r1);
+  EXPECT_DOUBLE_EQ(batch.returns[0], r0);
+}
+
 TEST(TrajectoryBuffer, EmptyTrajectoriesAreDiscarded) {
   const ActorCritic net = make_net();
   TrajectoryBuffer buffer(0.9);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "baselines/shortest_path.hpp"
 #include "core/trainer.hpp"
 #include "sim/scenario.hpp"
 #include "test_helpers.hpp"
@@ -123,11 +124,31 @@ TEST(Scenario, NamedTopologyConstructor) {
 
 TEST(Scenario, WithEndTimePreservesEverythingElse) {
   const Scenario base = make_base_scenario(2);
-  const Scenario shorter = core::scenario_with_end_time(base, 500.0);
+  const Scenario shorter = base.with_end_time(500.0);
   EXPECT_DOUBLE_EQ(shorter.config().end_time, 500.0);
   EXPECT_EQ(shorter.config().ingress.size(), base.config().ingress.size());
+  EXPECT_EQ(shorter.config().egress, base.config().egress);
   EXPECT_EQ(shorter.network().num_nodes(), base.network().num_nodes());
+  EXPECT_EQ(shorter.catalog().num_services(), base.catalog().num_services());
+  EXPECT_EQ(shorter.num_actions(), base.num_actions());
   EXPECT_DOUBLE_EQ(shorter.shortest_paths().delay(0, 7), base.shortest_paths().delay(0, 7));
+  // The original is untouched and a re-extension restores the horizon.
+  EXPECT_DOUBLE_EQ(base.config().end_time, 20000.0);
+  EXPECT_DOUBLE_EQ(shorter.with_end_time(base.config().end_time).config().end_time, 20000.0);
+  // Fixed-seed episodes on the copy reproduce the base scenario's episodes
+  // up to the shorter horizon: same capacities drawn, same traffic stream.
+  // Simulator keeps a reference to its Scenario, so the copies must outlive
+  // the runs.
+  const Scenario copy_a = base.with_end_time(300.0);
+  const Scenario copy_b = base.with_end_time(300.0);
+  sim::Simulator a(copy_a, 7);
+  sim::Simulator b(copy_b, 7);
+  baselines::ShortestPathCoordinator sp_a;
+  baselines::ShortestPathCoordinator sp_b;
+  const SimMetrics ma = a.run(sp_a);
+  const SimMetrics mb = b.run(sp_b);
+  EXPECT_EQ(ma.generated, mb.generated);
+  EXPECT_EQ(ma.succeeded, mb.succeeded);
 }
 
 TEST(Scenario, MultiServiceTemplatesAreSampled) {
