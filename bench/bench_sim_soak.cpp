@@ -1,0 +1,165 @@
+// Simulator soak benchmark: million-flow heavy-traffic episodes through the
+// pooled, cancellation-aware event engine.
+//
+// Three variants of the same Abilene scenario (5 ingress nodes at 10
+// flows/ms each, T = 20000 ms, ~10^6 generated flows): Poisson arrivals,
+// MMPP bursts, and Poisson with node/link failures mid-episode. Each runs
+// under the ShortestPath coordinator — decisions are a table lookup plus a
+// neighbour scan, so the event engine dominates the wall clock, which is
+// exactly what this benchmark tracks across revisions.
+//
+// Reported per variant: events/sec (two accountings: dispatched-only, and
+// dispatched+skipped — the latter matches the pre-pool engine, which
+// dispatched stale events as no-ops, so it is the apples-to-apples
+// throughput number), peak event-heap depth, flow-pool occupancy at peak,
+// and hold-slot recycling. Everything lands in BENCH_sim_soak.json
+// ("dosc.bench.v1"). Set DOSC_BENCH_SMOKE=1 (CI) for a shortened horizon
+// that still exercises all three variants.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/shortest_path.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/spec.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+using namespace dosc;
+
+namespace {
+
+bool smoke() {
+  static const bool on = [] {
+    const char* env = std::getenv("DOSC_BENCH_SMOKE");
+    return env != nullptr && std::string_view(env) != "0";
+  }();
+  return on;
+}
+
+sim::Scenario soak_scenario(const std::string& variant) {
+  sim::ScenarioConfig config;
+  config.name = "soak_" + variant;
+  config.topology = "abilene";
+  config.ingress = {0, 1, 2, 3, 4};
+  config.egress = 7;
+  config.node_cap_lo = 20.0;
+  config.node_cap_hi = 40.0;
+  config.link_cap_lo = 50.0;
+  config.link_cap_hi = 100.0;
+  // 5 ingress x 10 flows/ms x 20000 ms -> ~10^6 generated flows.
+  config.end_time = smoke() ? 1000.0 : 20000.0;
+  const double mean = 0.1;
+  if (variant == "mmpp") {
+    config.traffic = traffic::TrafficSpec::mmpp(mean * 1.2, mean * 0.8, 100.0, 0.1);
+  } else {
+    config.traffic = traffic::TrafficSpec::poisson(mean);
+  }
+  config.flows = {sim::FlowTemplate{.service = 0, .rate = 1.0, .duration = 1.0,
+                                    .deadline = 100.0, .weight = 1.0},
+                  sim::FlowTemplate{.service = 0, .rate = 1.0, .duration = 1.0,
+                                    .deadline = 60.0, .weight = 0.5}};
+  if (variant == "failures") {
+    const double scale = smoke() ? 0.05 : 1.0;
+    config.failures = {
+        {sim::FailureEvent::Kind::kNode, 5, 5000.0 * scale, 2000.0 * scale},
+        {sim::FailureEvent::Kind::kNode, 10, 12000.0 * scale, 3000.0 * scale},
+        {sim::FailureEvent::Kind::kLink, 3, 8000.0 * scale, 1000.0 * scale}};
+  }
+  return sim::Scenario(config, sim::make_video_streaming_catalog());
+}
+
+struct SoakResult {
+  std::string variant;
+  sim::SimMetrics metrics;
+  sim::Simulator::EngineStats stats;
+  std::uint64_t dispatched = 0;
+  double wall_ms = 0.0;
+
+  double dispatched_per_sec() const { return 1000.0 * dispatched / wall_ms; }
+  /// Pre-pool-comparable rate: the old engine dispatched stale events too,
+  /// so (dispatched + skipped) / wall is the same-work throughput number.
+  double total_per_sec() const {
+    return 1000.0 * (dispatched + stats.events_skipped) / wall_ms;
+  }
+  double pool_occupancy() const {
+    return stats.flow_slots == 0
+               ? 0.0
+               : static_cast<double>(stats.peak_live_flows) / stats.flow_slots;
+  }
+};
+
+SoakResult run_variant(const std::string& variant) {
+  const sim::Scenario scenario = soak_scenario(variant);
+  sim::Simulator simulator(scenario, 7);
+  baselines::ShortestPathCoordinator coordinator;
+  const util::Timer timer;
+  SoakResult result;
+  result.metrics = simulator.run(coordinator);
+  result.wall_ms = timer.elapsed_micros() / 1000.0;
+  result.variant = variant;
+  result.stats = simulator.engine_stats();
+  const auto& by_kind = simulator.events_by_kind();
+  result.dispatched = std::accumulate(by_kind.begin(), by_kind.end(), std::uint64_t{0});
+  return result;
+}
+
+util::Json to_json(const SoakResult& r) {
+  return util::Json(util::Json::Object{
+      {"scenario", util::Json("soak_" + r.variant)},
+      {"generated", util::Json(static_cast<std::size_t>(r.metrics.generated))},
+      {"succeeded", util::Json(static_cast<std::size_t>(r.metrics.succeeded))},
+      {"dropped", util::Json(static_cast<std::size_t>(r.metrics.dropped))},
+      {"wall_ms", util::Json(r.wall_ms)},
+      {"events_dispatched", util::Json(static_cast<std::size_t>(r.dispatched))},
+      {"events_skipped", util::Json(static_cast<std::size_t>(r.stats.events_skipped))},
+      {"events_per_sec_dispatched", util::Json(r.dispatched_per_sec())},
+      {"events_per_sec_total", util::Json(r.total_per_sec())},
+      {"event_queue_peak", util::Json(r.stats.peak_event_heap)},
+      {"heap_compactions", util::Json(static_cast<std::size_t>(r.stats.heap_compactions))},
+      {"peak_live_flows", util::Json(r.stats.peak_live_flows)},
+      {"flow_pool_slots", util::Json(r.stats.flow_slots)},
+      {"flow_pool_occupancy", util::Json(r.pool_occupancy())},
+      {"flows_recycled", util::Json(static_cast<std::size_t>(r.stats.flows_recycled))},
+      {"hold_pool_slots", util::Json(r.stats.hold_slots)},
+      {"holds_recycled", util::Json(static_cast<std::size_t>(r.stats.holds_recycled))},
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("sim_soak (%s horizon)\n", smoke() ? "smoke" : "full");
+  std::printf("%-10s %10s %10s %10s %9s %12s %12s %10s %10s %10s\n", "variant", "gen",
+              "succ", "drop", "wall_ms", "Mev/s_disp", "Mev/s_total", "heap_peak",
+              "pool_occ", "recycled");
+
+  util::Json::Array entries;
+  for (const char* variant : {"poisson", "mmpp", "failures"}) {
+    const SoakResult r = run_variant(variant);
+    std::printf("%-10s %10llu %10llu %10llu %9.1f %12.2f %12.2f %10zu %10.3f %10llu\n",
+                r.variant.c_str(), static_cast<unsigned long long>(r.metrics.generated),
+                static_cast<unsigned long long>(r.metrics.succeeded),
+                static_cast<unsigned long long>(r.metrics.dropped), r.wall_ms,
+                r.dispatched_per_sec() / 1e6, r.total_per_sec() / 1e6,
+                r.stats.peak_event_heap, r.pool_occupancy(),
+                static_cast<unsigned long long>(r.stats.holds_recycled));
+    entries.push_back(to_json(r));
+  }
+
+  const util::Json doc(util::Json::Object{
+      {"schema", util::Json("dosc.bench.v1")},
+      {"benchmark", util::Json("sim_soak")},
+      {"smoke", util::Json(smoke())},
+      {"results", util::Json(std::move(entries))},
+  });
+  const std::string path = "BENCH_sim_soak.json";
+  doc.save_file(path, 2);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -4,7 +4,9 @@
 //   dosc_cli topology <name>                     print stats + JSON export
 //   dosc_cli train <scenario.json> <policy.json> [--iterations N] [--seeds K]
 //   dosc_cli eval  <scenario.json> <algo> [--policy policy.json]
-//                  [--episodes N] [--time MS] [--audit]   algo: dist|gcasp|sp
+//                  [--episodes N] [--time MS] [--audit] [--stats]
+//                  algo: dist|gcasp|sp  (--stats prints event-engine
+//                  counters per episode: queue peak, pool sizes, recycling)
 //   dosc_cli fuzz  [--seeds N] [--time MS]       differential fuzzing
 //   dosc_cli trace <out.json> [--seed S] [--horizon MS]
 //
@@ -47,7 +49,7 @@ int usage() {
                "  dosc_cli topology <abilene|bt_europe|china_telecom|interroute>\n"
                "  dosc_cli train <scenario.json> <policy.json> [--iterations N] [--seeds K]\n"
                "  dosc_cli eval <scenario.json> <dist|gcasp|sp> [--policy p.json]\n"
-               "                [--episodes N] [--time MS] [--audit]\n"
+               "                [--episodes N] [--time MS] [--audit] [--stats]\n"
                "  dosc_cli fuzz [--seeds N] [--time MS]\n"
                "  dosc_cli trace <out.json> [--seed S] [--horizon MS]\n"
                "global flags (default off):\n"
@@ -161,6 +163,7 @@ int cmd_eval(int argc, char** argv) {
   const std::size_t episodes = static_cast<std::size_t>(flag(argc, argv, "--episodes", 5));
   const double time = flag(argc, argv, "--time", 5000.0);
   const bool audit = has_flag(argc, argv, "--audit");
+  const bool stats = has_flag(argc, argv, "--stats");
   const sim::Scenario eval = scenario.with_end_time(time);
 
   util::RunningStats success;
@@ -204,6 +207,17 @@ int cmd_eval(int argc, char** argv) {
       std::printf("  episode %zu: digest %016llx, %s\n", e,
                   static_cast<unsigned long long>(digest.digest()), auditor.report().c_str());
       audit_violations += auditor.total_violations();
+    }
+    if (stats) {
+      const sim::Simulator::EngineStats s = sim.engine_stats();
+      std::printf("  episode %zu engine: queue_peak=%zu live_peak=%zu flow_slots=%zu "
+                  "hold_slots=%zu flows_recycled=%llu holds_recycled=%llu "
+                  "events_skipped=%llu compactions=%llu\n",
+                  e, s.peak_event_heap, s.peak_live_flows, s.flow_slots, s.hold_slots,
+                  static_cast<unsigned long long>(s.flows_recycled),
+                  static_cast<unsigned long long>(s.holds_recycled),
+                  static_cast<unsigned long long>(s.events_skipped),
+                  static_cast<unsigned long long>(s.heap_compactions));
     }
   }
   std::printf("%s on '%s': success %.3f +- %.3f, avg e2e %.1f ms (%zu episodes x %.0f ms)\n",

@@ -46,6 +46,11 @@ struct SimEvent {
   FlowId flow = 0;
   std::uint32_t a = 0;
   std::uint32_t b = 0;
+  /// Internal routing handle (generation-tagged pool slot of the target
+  /// flow or hold). NOT part of the audit contract: digests must not absorb
+  /// it — its value depends on pool-slot reuse, which is an implementation
+  /// detail of the engine, not observable behaviour.
+  std::uint64_t h = 0;
 };
 
 /// Observer of the raw event stream (validation / digest tooling). Hooks

@@ -95,19 +95,24 @@ class Tracer {
 class ScopedSpan {
  public:
   ScopedSpan(const char* category, const char* name)
-      : armed_(Tracer::global().is_enabled()), category_(category), name_(name) {
-    if (armed_) start_us_ = Tracer::global().now_us();
+      : ScopedSpan(Tracer::global(), category, name) {}
+  /// Hot-loop overload: callers that hold the tracer reference skip the
+  /// global() lookup in both constructor and destructor.
+  ScopedSpan(Tracer& tracer, const char* category, const char* name)
+      : tracer_(&tracer), armed_(tracer.is_enabled()), category_(category),
+        name_(name) {
+    if (armed_) start_us_ = tracer.now_us();
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ~ScopedSpan() {
     if (armed_) {
-      Tracer& tracer = Tracer::global();
-      tracer.complete(category_, name_, start_us_, tracer.now_us() - start_us_);
+      tracer_->complete(category_, name_, start_us_, tracer_->now_us() - start_us_);
     }
   }
 
  private:
+  Tracer* tracer_;
   bool armed_;
   const char* category_;
   const char* name_;

@@ -1,0 +1,125 @@
+// Storage/event-engine regression tests: pooled flow and hold slots must be
+// recycled (bounded memory at steady state), the event heap must stay
+// proportional to the number of *live* flows (lazy cancellation +
+// compaction), and — the contract that makes all of this a pure
+// optimisation — skipping stale events must leave SimMetrics bit-identical
+// to the golden values recorded under dispatch-everything semantics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baselines/shortest_path.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace dosc::sim {
+namespace {
+
+TEST(SimEngine, HoldListInlineAndSpill) {
+  HoldList list;
+  EXPECT_TRUE(list.empty());
+  for (std::uint64_t i = 0; i < 2 * HoldList::kInline; ++i) list.push_back(100 + i);
+  ASSERT_EQ(list.size(), 2 * HoldList::kInline);
+  for (std::size_t i = 0; i < list.size(); ++i) EXPECT_EQ(list[i], 100 + i);
+  // remove_dead keeps order of the survivors.
+  list.remove_dead([](std::uint64_t h) { return h % 2 == 0; });
+  ASSERT_EQ(list.size(), HoldList::kInline);
+  for (std::size_t i = 0; i < list.size(); ++i) EXPECT_EQ(list[i], 100 + 2 * i);
+  list.clear();
+  EXPECT_EQ(list.size(), 0u);
+  // Reuse after clear: the spill storage is retained, values are fresh.
+  for (std::uint64_t i = 0; i < HoldList::kInline + 3; ++i) list.push_back(7 * i);
+  ASSERT_EQ(list.size(), HoldList::kInline + 3);
+  for (std::size_t i = 0; i < list.size(); ++i) EXPECT_EQ(list[i], 7 * i);
+}
+
+TEST(SimEngine, SteadyStatePoolsAndHeapAreBounded) {
+  // Long stationary Poisson episode with generous deadlines: thousands of
+  // flows pass through, but only O(tens) are alive at once. Pool slots and
+  // the event heap must scale with the latter, not the former.
+  const Scenario scenario =
+      make_base_scenario(3, traffic::TrafficSpec::poisson(5.0)).with_end_time(6000.0);
+  baselines::ShortestPathCoordinator coordinator;
+  Simulator sim(scenario, 7);
+  const SimMetrics metrics = sim.run(coordinator);
+  const Simulator::EngineStats stats = sim.engine_stats();
+  std::printf("engine stats: gen=%llu peak_heap=%zu peak_live=%zu flow_slots=%zu "
+              "hold_slots=%zu flows_recycled=%llu holds_recycled=%llu "
+              "skipped=%llu compactions=%llu\n",
+              static_cast<unsigned long long>(metrics.generated), stats.peak_event_heap,
+              stats.peak_live_flows, stats.flow_slots, stats.hold_slots,
+              static_cast<unsigned long long>(stats.flows_recycled),
+              static_cast<unsigned long long>(stats.holds_recycled),
+              static_cast<unsigned long long>(stats.events_skipped),
+              static_cast<unsigned long long>(stats.heap_compactions));
+  ASSERT_GT(metrics.generated, 1000u);
+
+  // Flow pool: slots are created only when no freed slot exists, so the
+  // pool never exceeds the live-flow peak, and recycling covers the rest.
+  EXPECT_LE(stats.flow_slots, stats.peak_live_flows);
+  EXPECT_EQ(stats.flows_recycled, metrics.generated - stats.flow_slots);
+  EXPECT_GT(stats.flows_recycled, metrics.generated / 2);
+
+  // Hold pool: the free list keeps capacity plateaued at the concurrent
+  // hold peak — far below the one-slot-per-acquisition growth of the old
+  // engine (several holds per generated flow).
+  EXPECT_GT(stats.holds_recycled, 0u);
+  EXPECT_LT(stats.hold_slots, metrics.generated);
+  EXPECT_GT(stats.holds_recycled, static_cast<std::uint64_t>(stats.hold_slots));
+
+  // Event heap: stale events are skipped/compacted away, so the peak depth
+  // is a small multiple of the live-flow peak (each live flow contributes a
+  // bounded number of pending timers), not O(total generated flows).
+  EXPECT_GE(stats.peak_live_flows, 8u);
+  EXPECT_LT(stats.peak_event_heap, 16 * stats.peak_live_flows + 64);
+  EXPECT_LT(stats.peak_event_heap, metrics.generated / 4);
+}
+
+TEST(SimEngine, StaleSkippingLeavesGoldenMetricsIdentical) {
+  // Same scenario/seed as Golden.ShortestPathAbilene. These SimMetrics pins
+  // were recorded under the seed engine, which dispatched every event
+  // (stale ones as no-ops). The pooled engine demonstrably skips events
+  // here — and must land on bit-identical metrics.
+  const Scenario scenario = make_base_scenario(3).with_end_time(2000.0);
+  baselines::ShortestPathCoordinator coordinator;
+  Simulator sim(scenario, 7);
+  const SimMetrics metrics = sim.run(coordinator);
+  const Simulator::EngineStats stats = sim.engine_stats();
+  EXPECT_GT(stats.events_skipped, 0u);
+  EXPECT_EQ(metrics.generated, 608u);
+  EXPECT_EQ(metrics.succeeded, 222u);
+  EXPECT_EQ(metrics.dropped, 386u);
+  EXPECT_NEAR(metrics.e2e_delay.mean(), 20.7011568840385, 1e-9);
+}
+
+TEST(SimEngine, RecycledFlowSlotsInvalidateStaleEvents) {
+  // Force heavy slot recycling (short deadlines, egress unreachable fast
+  // enough) and check the audit surface still reconciles: every generated
+  // flow is accounted and no event resurrects a dead flow's slot. A
+  // generation-tag bug here shows up as metrics corruption or a crash.
+  test::TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 2;
+  options.end_time = 500.0;
+  options.deadline = 6.0;  // expires mid-processing: drops release holds early
+  options.interarrival = 2.0;
+  const Scenario scenario =
+      tiny_scenario(test::line3(), test::one_component_catalog(), options);
+  test::LambdaCoordinator coordinator(
+      [](const Simulator& sim, const Flow& flow, net::NodeId node) -> int {
+        if (!sim.fully_processed(flow)) return 0;
+        return node == 0 ? 1 : 2;
+      });
+  Simulator sim(scenario, 3);
+  const SimMetrics metrics = sim.run(coordinator);
+  const Simulator::EngineStats stats = sim.engine_stats();
+  EXPECT_EQ(metrics.succeeded + metrics.dropped, metrics.generated);
+  EXPECT_GT(metrics.dropped, 0u);
+  EXPECT_GT(stats.flows_recycled, 0u);
+  EXPECT_GT(stats.events_skipped, 0u);
+  EXPECT_EQ(sim.num_active_flows(), 0u);
+}
+
+}  // namespace
+}  // namespace dosc::sim

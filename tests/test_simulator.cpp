@@ -334,6 +334,30 @@ TEST(Simulator, PeriodicCallbacksFireAtInterval) {
   }
 }
 
+TEST(Simulator, PeriodicBeyondHorizonNeverFires) {
+  // An interval longer than the episode horizon can never fire, so the
+  // first kPeriodic event must not even be seeded (the old engine queued it
+  // unconditionally and relied on an in-handler guard).
+  class PeriodicCoordinator final : public Coordinator {
+   public:
+    int decide(const Simulator&, const Flow&, net::NodeId) override { return 0; }
+    double periodic_interval() const override { return 1000.0; }
+    void on_periodic(const Simulator&, double) override { ++calls; }
+    std::size_t calls = 0;
+  };
+  TinyScenarioOptions options;
+  options.ingress = {0};
+  options.egress = 0;
+  options.end_time = 50.0;
+  const Scenario scenario =
+      tiny_scenario(test::line3(), test::one_component_catalog(), options);
+  PeriodicCoordinator coordinator;
+  Simulator sim(scenario, 1);
+  sim.run(coordinator);
+  EXPECT_EQ(coordinator.calls, 0u);
+  EXPECT_EQ(sim.events_by_kind()[static_cast<std::size_t>(EventKind::kPeriodic)], 0u);
+}
+
 TEST(Simulator, ComponentDemandAndProgress) {
   TinyScenarioOptions options;
   options.ingress = {0};
