@@ -1,0 +1,274 @@
+// Per-decision latency benchmark — the Fig. 9b quantity.
+//
+// Three sections, all landing in BENCH_decide.json ("dosc.bench.v1"):
+//
+//  1. Per-decision wall clock (p50/p99 from the simulator's log-scale
+//     decision histogram) for all four coordinators across the four Table-I
+//     topologies, with the paper's 2x256 tanh networks. Decisions are
+//     policy-independent work, so random-init policies measure the same
+//     inference cost a trained deployment pays. For CentralDRL the
+//     "decision" is its periodic rule refresh, as in Fig. 9b.
+//  2. Interleaved A/B on Abilene: the fast path (gemv kernels + bound
+//     observation tables + fused decide) against the frozen pre-PR pipeline
+//     (LegacyDistributedDrlCoordinator), alternating runs within the same
+//     process and reporting the median of 3 trials — the same protocol
+//     EXPERIMENTS.md uses for the event-engine A/B. Both variants run the
+//     same seeds; their event digests are compared to prove the speedup is
+//     behaviour-preserving.
+//  3. A rollout soak: env_steps/s of TrainingEnv episodes (sampled actions,
+//     trajectory recording) — the actor-throughput number that bounds
+//     training scale-out.
+//
+// DOSC_BENCH_SMOKE=1 (CI) shortens horizons but exercises every section.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/central_drl.hpp"
+#include "baselines/gcasp.hpp"
+#include "baselines/shortest_path.hpp"
+#include "check/digest.hpp"
+#include "core/drl_env.hpp"
+#include "core/observation.hpp"
+#include "net/topology_zoo.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/rollout.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/histogram.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+using namespace dosc;
+
+namespace {
+
+bool smoke() {
+  static const bool on = [] {
+    const char* env = std::getenv("DOSC_BENCH_SMOKE");
+    return env != nullptr && std::string_view(env) != "0";
+  }();
+  return on;
+}
+
+double episode_time() { return smoke() ? 500.0 : 5000.0; }
+std::size_t episodes_per_algo() { return smoke() ? 1 : 3; }
+std::size_t ab_trials() { return 3; }  // median-of-3 protocol, smoke included
+
+sim::Scenario topo_scenario(const std::string& topology) {
+  return sim::make_base_scenario(2, traffic::TrafficSpec::poisson(10.0), 100.0, topology,
+                                 episode_time());
+}
+
+rl::ActorCritic dist_policy(const sim::Scenario& scenario) {
+  rl::ActorCriticConfig config;
+  config.obs_dim = core::observation_dim(scenario.network().max_degree());
+  config.num_actions = scenario.network().max_degree() + 1;
+  config.hidden = {256, 256};  // the paper's Sec. V-A2 architecture
+  config.seed = 42;
+  return rl::ActorCritic(config);
+}
+
+rl::ActorCritic central_net(const sim::Scenario& scenario) {
+  rl::ActorCriticConfig config;
+  config.obs_dim = baselines::central_observation_dim(scenario);
+  config.num_actions = scenario.network().num_nodes();
+  config.hidden = {256, 256};
+  config.seed = 43;
+  return rl::ActorCritic(config);
+}
+
+struct LatencySample {
+  util::RunningStats decision_us;
+  telemetry::Histogram hist{telemetry::latency_histogram_config()};
+  util::RunningStats success;
+};
+
+util::Json latency_json(const std::string& scenario, const std::string& algo,
+                        const LatencySample& s) {
+  return util::Json(util::Json::Object{
+      {"kind", util::Json(std::string("latency"))},
+      {"scenario", util::Json(scenario)},
+      {"algo", util::Json(algo)},
+      {"success_mean", util::Json(s.success.mean())},
+      {"decision_us",
+       util::Json(util::Json::Object{
+           {"mean", util::Json(s.decision_us.mean())},
+           {"p50", util::Json(s.hist.percentile(50.0))},
+           {"p90", util::Json(s.hist.percentile(90.0))},
+           {"p99", util::Json(s.hist.percentile(99.0))},
+           {"count", util::Json(static_cast<std::size_t>(s.decision_us.count()))},
+       })},
+  });
+}
+
+double median3(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_decide (%s horizon): per-decision latency, Fig. 9b quantity\n",
+              smoke() ? "smoke" : "full");
+  util::Json::Array entries;
+
+  // ---- Section 1: four coordinators x four Table-I topologies ----------
+  std::printf("%-14s %-14s %10s %10s %10s %10s %9s\n", "topology", "algo", "mean_us",
+              "p50_us", "p99_us", "decisions", "success");
+  for (const std::string& topology : net::topology_names()) {
+    const sim::Scenario scenario = topo_scenario(topology);
+    const rl::ActorCritic dist = dist_policy(scenario);
+    const rl::ActorCritic central = central_net(scenario);
+    const std::size_t max_degree = scenario.network().max_degree();
+
+    struct AlgoRun {
+      const char* name;
+      bool central = false;
+    };
+    for (const AlgoRun algo : {AlgoRun{"dist_drl"}, AlgoRun{"dist_drl_legacy"},
+                               AlgoRun{"central_drl", true}, AlgoRun{"gcasp"},
+                               AlgoRun{"sp"}}) {
+      LatencySample sample;
+      for (std::size_t e = 0; e < episodes_per_algo(); ++e) {
+        const std::uint64_t seed = 424242 + e;
+        sim::Simulator sim(scenario, seed);
+        sim.enable_decision_timing(true);
+        sim::SimMetrics metrics;
+        const std::string name = algo.name;
+        if (name == "dist_drl") {
+          core::DistributedDrlCoordinator c(dist, max_degree);
+          metrics = sim.run(c);
+        } else if (name == "dist_drl_legacy") {
+          core::LegacyDistributedDrlCoordinator c(dist, max_degree);
+          metrics = sim.run(c);
+        } else if (name == "central_drl") {
+          baselines::CentralDrlConfig config;
+          config.hidden = {256, 256};
+          baselines::CentralDrlCoordinator c(central, config, core::RewardConfig{});
+          metrics = sim.run(c, &c);
+        } else if (name == "gcasp") {
+          baselines::GcaspCoordinator c;
+          metrics = sim.run(c);
+        } else {
+          baselines::ShortestPathCoordinator c;
+          metrics = sim.run(c);
+        }
+        if (algo.central) {
+          sample.decision_us.merge(metrics.rule_update_time);
+          sample.hist.merge(metrics.rule_update_time_hist);
+        } else {
+          sample.decision_us.merge(metrics.decision_time);
+          sample.hist.merge(metrics.decision_time_hist);
+        }
+        sample.success.add(metrics.success_ratio());
+      }
+      std::printf("%-14s %-14s %10.2f %10.2f %10.2f %10llu %9.3f\n", topology.c_str(),
+                  algo.name, sample.decision_us.mean(), sample.hist.percentile(50.0),
+                  sample.hist.percentile(99.0),
+                  static_cast<unsigned long long>(sample.decision_us.count()),
+                  sample.success.mean());
+      entries.push_back(latency_json(topology, algo.name, sample));
+    }
+  }
+
+  // ---- Section 2: interleaved A/B, fast vs pre-PR pipeline (Abilene) ----
+  {
+    const sim::Scenario scenario = topo_scenario("abilene");
+    const rl::ActorCritic dist = dist_policy(scenario);
+    const std::size_t max_degree = scenario.network().max_degree();
+    std::vector<double> fast_p50, legacy_p50, fast_p99, legacy_p99;
+    bool digests_match = true;
+    for (std::size_t trial = 0; trial < ab_trials(); ++trial) {
+      const std::uint64_t seed = 7 + trial;
+      std::uint64_t fast_digest = 0, legacy_digest = 0;
+      // Interleave within the trial: fast then legacy back to back, so
+      // frequency scaling and cache state hit both variants alike.
+      for (const bool fast : {true, false}) {
+        sim::Simulator sim(scenario, seed);
+        sim.enable_decision_timing(true);
+        check::EventDigest digest;
+        sim.set_audit_hook(&digest);
+        sim::SimMetrics metrics;
+        if (fast) {
+          core::DistributedDrlCoordinator c(dist, max_degree);
+          metrics = sim.run(c);
+        } else {
+          core::LegacyDistributedDrlCoordinator c(dist, max_degree);
+          metrics = sim.run(c);
+        }
+        (fast ? fast_p50 : legacy_p50).push_back(metrics.decision_time_hist.percentile(50.0));
+        (fast ? fast_p99 : legacy_p99).push_back(metrics.decision_time_hist.percentile(99.0));
+        (fast ? fast_digest : legacy_digest) = digest.digest();
+      }
+      digests_match = digests_match && (fast_digest == legacy_digest);
+    }
+    const double f50 = median3(fast_p50), l50 = median3(legacy_p50);
+    const double f99 = median3(fast_p99), l99 = median3(legacy_p99);
+    const double speedup = f50 > 0.0 ? l50 / f50 : 0.0;
+    std::printf("A/B abilene dist_drl: fast p50 %.2f us vs legacy p50 %.2f us -> "
+                "speedup %.2fx (p99 %.2f vs %.2f), digests %s\n",
+                f50, l50, speedup, f99, l99, digests_match ? "MATCH" : "DIFFER");
+    entries.push_back(util::Json(util::Json::Object{
+        {"kind", util::Json(std::string("ab_fast_vs_legacy"))},
+        {"scenario", util::Json(std::string("abilene"))},
+        {"algo", util::Json(std::string("dist_drl"))},
+        {"trials", util::Json(ab_trials())},
+        {"fast_p50_us", util::Json(f50)},
+        {"legacy_p50_us", util::Json(l50)},
+        {"speedup_p50", util::Json(speedup)},
+        {"fast_p99_us", util::Json(f99)},
+        {"legacy_p99_us", util::Json(l99)},
+        {"digests_match", util::Json(digests_match)},
+    }));
+  }
+
+  // ---- Section 3: rollout env_steps/s soak (training-time throughput) ---
+  {
+    const sim::Scenario scenario = topo_scenario("abilene");
+    const rl::ActorCritic policy = dist_policy(scenario);
+    const std::size_t rollout_episodes = smoke() ? 1 : 5;
+    rl::TrajectoryBuffer buffer(/*gamma=*/0.99);
+    std::size_t steps = 0;
+    const util::Timer timer;
+    for (std::size_t e = 0; e < rollout_episodes; ++e) {
+      core::TrainingEnv env(policy, buffer, core::RewardConfig{},
+                            scenario.network().max_degree(), util::Rng(1000 + e));
+      sim::Simulator sim(scenario, 5000 + e);
+      sim.run(env, &env);
+      buffer.truncate_all();
+      const rl::Batch batch = buffer.drain(policy, policy.config().obs_dim);
+      steps += batch.size();
+    }
+    const double wall_ms = timer.elapsed_micros() / 1000.0;
+    const double steps_per_sec = wall_ms > 0.0 ? 1000.0 * steps / wall_ms : 0.0;
+    std::printf("rollout soak: %zu episodes, %zu env steps in %.1f ms -> %.0f steps/s\n",
+                rollout_episodes, steps, wall_ms, steps_per_sec);
+    entries.push_back(util::Json(util::Json::Object{
+        {"kind", util::Json(std::string("rollout_soak"))},
+        {"scenario", util::Json(std::string("abilene"))},
+        {"episodes", util::Json(rollout_episodes)},
+        {"env_steps", util::Json(steps)},
+        {"wall_ms", util::Json(wall_ms)},
+        {"env_steps_per_sec", util::Json(steps_per_sec)},
+    }));
+  }
+
+  const util::Json doc(util::Json::Object{
+      {"schema", util::Json("dosc.bench.v1")},
+      {"benchmark", util::Json("decide")},
+      {"smoke", util::Json(smoke())},
+      {"results", util::Json(std::move(entries))},
+  });
+  const std::string path = "BENCH_decide.json";
+  doc.save_file(path, 2);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -4,9 +4,12 @@
 //   dosc_cli topology <name>                     print stats + JSON export
 //   dosc_cli train <scenario.json> <policy.json> [--iterations N] [--seeds K]
 //   dosc_cli eval  <scenario.json> <algo> [--policy policy.json]
-//                  [--episodes N] [--time MS] [--audit] [--stats]
+//                  [--episodes N] [--time MS] [--episodes-parallel W]
+//                  [--audit] [--stats]
 //                  algo: dist|gcasp|sp  (--stats prints event-engine
-//                  counters per episode: queue peak, pool sizes, recycling)
+//                  counters per episode: queue peak, pool sizes, recycling;
+//                  --episodes-parallel runs W independent episodes
+//                  concurrently, 0 = hardware threads, output unchanged)
 //   dosc_cli fuzz  [--seeds N] [--time MS]       differential fuzzing
 //   dosc_cli trace <out.json> [--seed S] [--horizon MS]
 //
@@ -17,10 +20,14 @@
 //
 // Scenario files use sim::ScenarioConfig::to_json()'s schema; see
 // scenarios/ for ready-made examples.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/gcasp.hpp"
@@ -49,7 +56,8 @@ int usage() {
                "  dosc_cli topology <abilene|bt_europe|china_telecom|interroute>\n"
                "  dosc_cli train <scenario.json> <policy.json> [--iterations N] [--seeds K]\n"
                "  dosc_cli eval <scenario.json> <dist|gcasp|sp> [--policy p.json]\n"
-               "                [--episodes N] [--time MS] [--audit] [--stats]\n"
+               "                [--episodes N] [--time MS] [--episodes-parallel W]\n"
+               "                [--audit] [--stats]\n"
                "  dosc_cli fuzz [--seeds N] [--time MS]\n"
                "  dosc_cli trace <out.json> [--seed S] [--horizon MS]\n"
                "global flags (default off):\n"
@@ -164,12 +172,45 @@ int cmd_eval(int argc, char** argv) {
   const double time = flag(argc, argv, "--time", 5000.0);
   const bool audit = has_flag(argc, argv, "--audit");
   const bool stats = has_flag(argc, argv, "--stats");
+  // Concurrent independent episodes (0 = one per hardware thread). Episode
+  // seeds are fixed (424242 + e) and results are collected per episode and
+  // merged/printed in episode order, so the output is identical to the
+  // sequential run at any parallelism level.
+  std::size_t parallel =
+      static_cast<std::size_t>(flag(argc, argv, "--episodes-parallel", 1));
+  if (parallel == 0) parallel = std::thread::hardware_concurrency();
   const sim::Scenario eval = scenario.with_end_time(time);
 
-  util::RunningStats success;
-  util::RunningStats delay;
-  std::uint64_t audit_violations = 0;
-  for (std::size_t e = 0; e < episodes; ++e) {
+  const core::TrainedPolicy* policy = nullptr;
+  const rl::ActorCritic* net = nullptr;
+  static std::optional<core::TrainedPolicy> policy_storage;
+  static std::optional<rl::ActorCritic> net_storage;
+  if (algo == "dist") {
+    const char* policy_path = flag_str(argc, argv, "--policy", nullptr);
+    if (policy_path == nullptr) {
+      std::fprintf(stderr, "eval dist requires --policy <file>\n");
+      return 2;
+    }
+    policy_storage = core::load_policy(policy_path);
+    net_storage = policy_storage->instantiate();
+    policy = &*policy_storage;
+    net = &*net_storage;
+  } else if (algo != "gcasp" && algo != "sp") {
+    return usage();
+  }
+  (void)policy;
+
+  struct EpisodeOut {
+    double success = 0.0;
+    double delay = 0.0;
+    bool has_delay = false;
+    std::uint64_t digest = 0;
+    std::string audit_report;
+    std::uint64_t violations = 0;
+    sim::Simulator::EngineStats engine{};
+  };
+  std::vector<EpisodeOut> results(episodes);
+  const auto run_episode = [&](std::size_t e) {
     sim::Simulator sim(eval, 424242 + e);
     // With telemetry on, time every decision so the snapshot's
     // sim.decision_us histogram is populated.
@@ -183,33 +224,66 @@ int cmd_eval(int argc, char** argv) {
     sim::FlowObserver* observer = audit ? &auditor : nullptr;
     sim::SimMetrics m;
     if (algo == "dist") {
-      const char* policy_path = flag_str(argc, argv, "--policy", nullptr);
-      if (policy_path == nullptr) {
-        std::fprintf(stderr, "eval dist requires --policy <file>\n");
-        return 2;
-      }
-      static const core::TrainedPolicy policy = core::load_policy(policy_path);
-      static const rl::ActorCritic net = policy.instantiate();
-      core::DistributedDrlCoordinator c(net, scenario.network().max_degree());
+      core::DistributedDrlCoordinator c(*net, scenario.network().max_degree());
       m = sim.run(c, observer);
     } else if (algo == "gcasp") {
       baselines::GcaspCoordinator c;
       m = sim.run(c, observer);
-    } else if (algo == "sp") {
+    } else {
       baselines::ShortestPathCoordinator c;
       m = sim.run(c, observer);
-    } else {
-      return usage();
     }
-    success.add(m.success_ratio());
-    if (m.e2e_delay.count() > 0) delay.add(m.e2e_delay.mean());
+    EpisodeOut& out = results[e];
+    out.success = m.success_ratio();
+    out.has_delay = m.e2e_delay.count() > 0;
+    if (out.has_delay) out.delay = m.e2e_delay.mean();
+    if (audit) {
+      out.digest = digest.digest();
+      out.audit_report = auditor.report();
+      out.violations = auditor.total_violations();
+    }
+    if (stats) out.engine = sim.engine_stats();
+  };
+
+  const std::size_t workers = std::max<std::size_t>(1, std::min(parallel, episodes));
+  if (workers <= 1) {
+    for (std::size_t e = 0; e < episodes; ++e) run_episode(e);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t e = next.fetch_add(1); e < episodes; e = next.fetch_add(1)) {
+          try {
+            run_episode(e);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  util::RunningStats success;
+  util::RunningStats delay;
+  std::uint64_t audit_violations = 0;
+  for (std::size_t e = 0; e < episodes; ++e) {
+    const EpisodeOut& out = results[e];
+    success.add(out.success);
+    if (out.has_delay) delay.add(out.delay);
     if (audit) {
       std::printf("  episode %zu: digest %016llx, %s\n", e,
-                  static_cast<unsigned long long>(digest.digest()), auditor.report().c_str());
-      audit_violations += auditor.total_violations();
+                  static_cast<unsigned long long>(out.digest), out.audit_report.c_str());
+      audit_violations += out.violations;
     }
     if (stats) {
-      const sim::Simulator::EngineStats s = sim.engine_stats();
+      const sim::Simulator::EngineStats& s = out.engine;
       std::printf("  episode %zu engine: queue_peak=%zu live_peak=%zu flow_slots=%zu "
                   "hold_slots=%zu flows_recycled=%llu holds_recycled=%llu "
                   "events_skipped=%llu compactions=%llu\n",

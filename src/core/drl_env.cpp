@@ -1,5 +1,6 @@
 #include "core/drl_env.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 
@@ -22,6 +23,7 @@ TrainingEnv::TrainingEnv(const rl::ActorCritic& policy, rl::TrajectoryBuffer& bu
 void TrainingEnv::on_episode_start(const sim::Simulator& sim) {
   sim_ = &sim;
   shaper_ = std::make_unique<RewardShaper>(reward_config_, sim.shortest_paths().diameter());
+  obs_.bind(sim);
   episode_reward_ = 0.0;
 }
 
@@ -81,6 +83,35 @@ int DistributedDrlCoordinator::decide(const sim::Simulator& sim, const sim::Flow
                                       net::NodeId node) {
   const std::vector<double>& obs = obs_.build(sim, flow, node);
   return stochastic_ ? policy_.sample_action(obs, rng_) : policy_.greedy_action(obs);
+}
+
+void DistributedDrlCoordinator::on_episode_start(const sim::Simulator& sim) {
+  obs_.bind(sim);
+}
+
+LegacyDistributedDrlCoordinator::LegacyDistributedDrlCoordinator(const rl::ActorCritic& policy,
+                                                                 std::size_t max_degree,
+                                                                 bool stochastic, util::Rng rng,
+                                                                 ObservationMask mask)
+    : policy_(policy), obs_(max_degree, mask), stochastic_(stochastic), rng_(rng) {
+  if (policy.config().obs_dim != observation_dim(max_degree)) {
+    throw std::invalid_argument(
+        "LegacyDistributedDrlCoordinator: policy observation size does not match degree");
+  }
+}
+
+int LegacyDistributedDrlCoordinator::decide(const sim::Simulator& sim, const sim::Flow& flow,
+                                            net::NodeId node) {
+  // The pre-fast-path pipeline, bit for bit: generic observation build
+  // (obs_ is never bound), the scalar bias-first forward, softmax into a
+  // probs vector, and util::Rng::categorical for the stochastic mode.
+  const std::vector<double>& obs = obs_.build(sim, flow, node);
+  policy_.actor().predict_row_legacy(obs, logits_, scratch_);
+  if (stochastic_) {
+    rl::softmax_into(logits_, probs_);
+    return static_cast<int>(rng_.categorical(probs_));
+  }
+  return static_cast<int>(std::max_element(logits_.begin(), logits_.end()) - logits_.begin());
 }
 
 }  // namespace dosc::core

@@ -94,12 +94,37 @@ class DistributedDrlCoordinator final : public sim::Coordinator {
                             ObservationMask mask = {});
 
   int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
+  /// Binds the observation builder's per-episode fast-path tables.
+  void on_episode_start(const sim::Simulator& sim) override;
 
  private:
   const rl::ActorCritic& policy_;
   ObservationBuilder obs_;
   bool stochastic_;
   util::Rng rng_;
+};
+
+/// The seed's per-decision pipeline — unbound (graph-walking) observation
+/// build plus the scalar predict_row loop — frozen as an executable
+/// reference point. bench_decide's interleaved A/B runs measure the fast
+/// path's speedup against it, and the golden guard asserts both pipelines
+/// produce the same greedy decision stream. Not for production use.
+class LegacyDistributedDrlCoordinator final : public sim::Coordinator {
+ public:
+  LegacyDistributedDrlCoordinator(const rl::ActorCritic& policy, std::size_t max_degree,
+                                  bool stochastic = false, util::Rng rng = util::Rng(0),
+                                  ObservationMask mask = {});
+
+  int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
+
+ private:
+  const rl::ActorCritic& policy_;
+  ObservationBuilder obs_;  ///< never bound: always the generic build path
+  bool stochastic_;
+  util::Rng rng_;
+  nn::Mlp::Scratch scratch_;
+  std::vector<double> logits_;
+  std::vector<double> probs_;
 };
 
 }  // namespace dosc::core

@@ -15,8 +15,51 @@ ObservationBuilder::ObservationBuilder(std::size_t max_degree, ObservationMask m
   buffer_.assign(dim(), 0.0);
 }
 
+void ObservationBuilder::bind(const sim::Simulator& sim) {
+  const net::Network& network = sim.network();
+  const std::size_t v_count = network.num_nodes();
+  num_nodes_ = v_count;
+  row_begin_.resize(v_count + 1);
+  std::size_t slots = 0;
+  for (net::NodeId v = 0; v < v_count; ++v) {
+    row_begin_[v] = static_cast<std::uint32_t>(slots);
+    slots += network.neighbors(v).size();
+  }
+  row_begin_[v_count] = static_cast<std::uint32_t>(slots);
+  nb_node_.resize(slots);
+  nb_link_.resize(slots);
+  nb_delay_via_.resize(slots * v_count);
+  node_max_link_cap_.resize(v_count);
+  const net::ShortestPaths& sp = sim.shortest_paths();
+  for (net::NodeId v = 0; v < v_count; ++v) {
+    const auto& neighbors = network.neighbors(v);
+    // Stored pre-clamped so the fast path divides by the exact same double
+    // as the generic path's max(1e-12, ...) expression.
+    node_max_link_cap_[v] = std::max(1e-12, network.max_neighbor_link_capacity(v));
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const std::size_t pos = row_begin_[v] + i;
+      nb_node_[pos] = neighbors[i].node;
+      nb_link_[pos] = neighbors[i].link;
+      for (net::NodeId egress = 0; egress < v_count; ++egress) {
+        // Same two-operand addition delay_via() performs per call, hoisted
+        // to bind time: bit-identical slack values.
+        nb_delay_via_[pos * v_count + egress] = sp.delay_via(v, neighbors[i], egress);
+      }
+    }
+  }
+  max_node_cap_ = std::max(1e-12, network.max_node_capacity());
+  bound_id_ = sim.instance_id();
+}
+
 const std::vector<double>& ObservationBuilder::build(const sim::Simulator& sim,
                                                      const sim::Flow& flow, net::NodeId node) {
+  if (bound_id_ == sim.instance_id()) return build_fast(sim, flow, node);
+  return build_generic(sim, flow, node);
+}
+
+const std::vector<double>& ObservationBuilder::build_generic(const sim::Simulator& sim,
+                                                             const sim::Flow& flow,
+                                                             net::NodeId node) {
   const net::Network& network = sim.network();
   const auto& neighbors = network.neighbors(node);
   if (neighbors.size() > max_degree_) {
@@ -85,6 +128,67 @@ const std::vector<double>& ObservationBuilder::build(const sim::Simulator& sim,
     ++k;
   }
 
+  apply_mask();
+  return buffer_;
+}
+
+const std::vector<double>& ObservationBuilder::build_fast(const sim::Simulator& sim,
+                                                          const sim::Flow& flow,
+                                                          net::NodeId node) {
+  // Mirrors build_generic operation for operation over the flat bind()
+  // tables: every arithmetic expression consumes the same doubles in the
+  // same order, so the two paths return bit-identical observations.
+  const std::size_t beg = row_begin_[node];
+  const std::size_t deg = row_begin_[node + 1] - beg;
+  if (deg > max_degree_) {
+    throw std::invalid_argument("ObservationBuilder: node degree exceeds layout degree");
+  }
+  const double now = sim.time();
+  std::fill(buffer_.begin(), buffer_.end(), kDummy);
+  std::size_t k = 0;
+
+  const sim::Service& service = sim.service_of(flow);
+  const double chain_len = static_cast<double>(std::max<std::size_t>(1, service.length()));
+  buffer_[k++] = std::min(1.0, static_cast<double>(flow.chain_pos) / chain_len);
+  const double remaining = std::max(0.0, flow.remaining_deadline(now));
+  buffer_[k++] = std::clamp(remaining / flow.deadline, 0.0, 1.0);
+
+  const double max_link_cap = node_max_link_cap_[node];
+  for (std::size_t i = 0; i < deg; ++i) {
+    buffer_[k + i] = clamp11((sim.link_free(nb_link_[beg + i]) - flow.rate) / max_link_cap);
+  }
+  k += max_degree_;
+
+  const double demand = sim.component_demand(flow);
+  buffer_[k++] = clamp11((sim.node_free(node) - demand) / max_node_cap_);
+  for (std::size_t i = 0; i < deg; ++i) {
+    buffer_[k + i] = clamp11((sim.node_free(nb_node_[beg + i]) - demand) / max_node_cap_);
+  }
+  k += max_degree_;
+
+  const double* delay_row = nb_delay_via_.data() + beg * num_nodes_ + flow.egress;
+  for (std::size_t i = 0; i < deg; ++i) {
+    if (remaining <= 0.0) {
+      buffer_[k + i] = -1.0;
+    } else {
+      buffer_[k + i] = std::max(-1.0, (remaining - delay_row[i * num_nodes_]) / remaining);
+    }
+  }
+  k += max_degree_;
+
+  const bool done = sim.fully_processed(flow);
+  const sim::ComponentId comp = done ? 0 : sim.requested_component(flow);
+  buffer_[k++] = (!done && sim.instance_available(node, comp)) ? 1.0 : 0.0;
+  for (std::size_t i = 0; i < deg; ++i) {
+    buffer_[k + i] =
+        (!done && sim.instance_available(nb_node_[beg + i], comp)) ? 1.0 : 0.0;
+  }
+
+  apply_mask();
+  return buffer_;
+}
+
+void ObservationBuilder::apply_mask() noexcept {
   // Ablation masking: zero disabled blocks, keeping the layout fixed.
   const std::size_t d = max_degree_;
   const auto blank = [&](std::size_t begin, std::size_t count) {
@@ -96,8 +200,6 @@ const std::vector<double>& ObservationBuilder::build(const sim::Simulator& sim,
   if (!mask_.node_util) blank(2 + d, d + 1);
   if (!mask_.delays) blank(3 + 2 * d, d);
   if (!mask_.instances) blank(3 + 3 * d, d + 1);
-
-  return buffer_;
 }
 
 }  // namespace dosc::core

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -54,6 +55,21 @@ class ObservationBuilder {
   std::size_t dim() const noexcept { return observation_dim(max_degree_); }
   std::size_t max_degree() const noexcept { return max_degree_; }
 
+  /// Precompute flat per-node tables for this simulator episode — CSR
+  /// neighbour/link lists, the (neighbour position, egress) → delay_via
+  /// slice of the shortest-path matrix, and the capacity normalisers — so
+  /// build() is pure array indexing with no graph traversal or per-call
+  /// max-scans. Topology and capacities are frozen for a Simulator's
+  /// lifetime (failures only gate the free-capacity accessors), so binding
+  /// once in Coordinator::on_episode_start is sound. build() falls back to
+  /// the generic path when unbound or handed a different Simulator —
+  /// identified by Simulator::instance_id(), never by address, since
+  /// capacities are re-randomised per episode and a fresh Simulator can
+  /// reuse a destroyed one's address — and the two paths are bit-identical.
+  void bind(const sim::Simulator& sim);
+  void unbind() noexcept { bound_id_ = 0; }
+  bool bound() const noexcept { return bound_id_ != 0; }
+
   /// Build the observation of the agent at `node` for the arriving `flow`.
   /// Reuses and returns an internal buffer; copy it if it must outlive the
   /// next call (not thread-safe; use one builder per thread).
@@ -61,9 +77,25 @@ class ObservationBuilder {
                                    net::NodeId node);
 
  private:
+  const std::vector<double>& build_generic(const sim::Simulator& sim, const sim::Flow& flow,
+                                           net::NodeId node);
+  const std::vector<double>& build_fast(const sim::Simulator& sim, const sim::Flow& flow,
+                                        net::NodeId node);
+  void apply_mask() noexcept;
+
   std::size_t max_degree_;
   ObservationMask mask_;
   std::vector<double> buffer_;
+
+  // --- per-episode tables (valid for the bound Simulator instance) ---
+  std::uint64_t bound_id_ = 0;  ///< Simulator::instance_id(), 0 = unbound
+  std::size_t num_nodes_ = 0;
+  std::vector<std::uint32_t> row_begin_;     ///< CSR offsets, num_nodes_+1
+  std::vector<net::NodeId> nb_node_;         ///< neighbour node per CSR slot
+  std::vector<net::LinkId> nb_link_;         ///< connecting link per CSR slot
+  std::vector<double> nb_delay_via_;         ///< [csr slot * V + egress] = delay_via
+  std::vector<double> node_max_link_cap_;    ///< R^L normaliser per node
+  double max_node_cap_ = 1.0;                ///< R^V normaliser
 };
 
 }  // namespace dosc::core

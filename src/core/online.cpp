@@ -18,6 +18,7 @@ OnlineTrainingCoordinator::OnlineTrainingCoordinator(rl::ActorCritic policy,
 void OnlineTrainingCoordinator::on_episode_start(const sim::Simulator& sim) {
   sim_ = &sim;
   shaper_ = std::make_unique<RewardShaper>(config_.reward, sim.shortest_paths().diameter());
+  obs_.bind(sim);
   episode_reward_ = 0.0;
 }
 

@@ -1,6 +1,8 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -73,22 +75,69 @@ class RewardTally final : public sim::FlowObserver {
 
 EvalResult evaluate_policy(const sim::Scenario& scenario, const rl::ActorCritic& policy,
                            const RewardConfig& reward, std::size_t episodes,
-                           double episode_time, std::uint64_t seed_base,
-                           ObservationMask mask) {
+                           double episode_time, std::uint64_t seed_base, ObservationMask mask,
+                           std::size_t parallel_episodes) {
   const sim::Scenario eval_scenario = scenario.with_end_time(episode_time);
-  EvalResult result;
-  util::RunningStats success;
-  util::RunningStats rewards;
-  util::RunningStats delays;
-  for (std::size_t e = 0; e < episodes; ++e) {
+  struct EpisodeResult {
+    double success = 0.0;
+    double reward = 0.0;
+    double delay = 0.0;
+    bool has_delay = false;
+  };
+  std::vector<EpisodeResult> per_episode(episodes);
+  const auto run_episode = [&](std::size_t e) {
     sim::Simulator sim(eval_scenario, seed_base + e);
     DistributedDrlCoordinator coordinator(policy, scenario.network().max_degree(),
                                           /*stochastic=*/false, util::Rng(0), mask);
     RewardTally tally(reward, sim);
     const sim::SimMetrics metrics = sim.run(coordinator, &tally);
-    success.add(metrics.success_ratio());
-    rewards.add(tally.total());
-    if (metrics.e2e_delay.count() > 0) delays.add(metrics.e2e_delay.mean());
+    EpisodeResult& slot = per_episode[e];
+    slot.success = metrics.success_ratio();
+    slot.reward = tally.total();
+    slot.has_delay = metrics.e2e_delay.count() > 0;
+    if (slot.has_delay) slot.delay = metrics.e2e_delay.mean();
+  };
+
+  if (parallel_episodes == 0) parallel_episodes = std::thread::hardware_concurrency();
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(parallel_episodes, episodes));
+  if (workers <= 1) {
+    for (std::size_t e = 0; e < episodes; ++e) run_episode(e);
+  } else {
+    // Episodes are claimed off a shared counter; each fills only its own
+    // result slot, so no cross-thread state is touched during a run.
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t e = next.fetch_add(1); e < episodes; e = next.fetch_add(1)) {
+          try {
+            run_episode(e);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Deterministic merge in ascending episode order: the RunningStats see the
+  // exact update sequence of the sequential loop, so the result is
+  // bit-identical at every parallelism level.
+  EvalResult result;
+  util::RunningStats success;
+  util::RunningStats rewards;
+  util::RunningStats delays;
+  for (const EpisodeResult& ep : per_episode) {
+    success.add(ep.success);
+    rewards.add(ep.reward);
+    if (ep.has_delay) delays.add(ep.delay);
   }
   result.success_ratio = success.mean();
   result.mean_reward = rewards.mean();
@@ -255,7 +304,7 @@ TrainedPolicy train_distributed_policy(const sim::Scenario& scenario,
     const EvalResult eval =
         evaluate_policy(scenario, net, config.reward, config.eval_episodes,
                         config.eval_episode_time, /*seed_base=*/9000 + seed_index,
-                        config.observation_mask);
+                        config.observation_mask, config.eval_parallel);
     best.per_seed_success.push_back(eval.success_ratio);
     if (config.verbose) {
       util::Log(util::LogLevel::kInfo, "trainer")

@@ -34,6 +34,9 @@ struct TrainingConfig {
   std::size_t max_update_steps = 4096;
   std::size_t eval_episodes = 3;   ///< greedy evaluation for agent selection
   double eval_episode_time = 2000.0;
+  /// Concurrent eval episodes (0 = one per hardware thread). Any value
+  /// yields bit-identical evaluation results; see evaluate_policy.
+  std::size_t eval_parallel = 1;
   std::uint64_t seed_base = 1;
   bool verbose = false;
 
@@ -76,10 +79,16 @@ struct EvalResult {
   double mean_reward = 0.0;
   double mean_e2e_delay = 0.0;
 };
+/// `parallel_episodes` runs that many episodes concurrently (0 = one worker
+/// per hardware thread). The episodes are fully independent — each gets its
+/// own Simulator seeded seed_base + e and its own coordinator — and the
+/// per-episode stats are merged in ascending episode order after all
+/// workers join, so the result is bit-identical for every parallelism
+/// level, including the sequential default.
 EvalResult evaluate_policy(const sim::Scenario& scenario, const rl::ActorCritic& policy,
                            const RewardConfig& reward, std::size_t episodes,
                            double episode_time, std::uint64_t seed_base,
-                           ObservationMask mask = {});
+                           ObservationMask mask = {}, std::size_t parallel_episodes = 1);
 
 /// Deterministic per-episode simulator seed, decorrelated across
 /// (training seed, iteration, environment) so the l parallel workers of an

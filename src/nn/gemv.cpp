@@ -1,0 +1,108 @@
+#include "nn/gemv.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "telemetry/registry.hpp"
+
+// Kernel bodies are included once per ISA level, exactly like gemm.cpp: the
+// baseline instantiation uses the project-wide flags; the AVX2+FMA
+// instantiation is compiled with a function-level target override and
+// selected at runtime via cpuid.
+#define DOSC_GEMV_NAMESPACE baseline
+#include "nn/gemv_kernels.inc"
+#undef DOSC_GEMV_NAMESPACE
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define DOSC_GEMV_HAVE_AVX2 1
+#pragma GCC push_options
+#pragma GCC target("avx2,fma")
+#define DOSC_GEMV_NAMESPACE avx2
+#define DOSC_GEMV_FMA 1
+#include "nn/gemv_kernels.inc"
+#undef DOSC_GEMV_FMA
+#undef DOSC_GEMV_NAMESPACE
+#pragma GCC pop_options
+#endif
+
+namespace dosc::nn::gemv {
+
+namespace {
+
+using GemvFn = void (*)(std::size_t in, std::size_t out, const double* x, const double* packed,
+                        const double* bias, int act, double* y);
+
+struct KernelSet {
+  GemvFn gemv;
+  const char* isa;
+};
+
+const KernelSet& kernels() {
+  static const KernelSet set = [] {
+#ifdef DOSC_GEMV_HAVE_AVX2
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return KernelSet{&avx2::gemv_bias_act, "avx2+fma"};
+    }
+#endif
+    return KernelSet{&baseline::gemv_bias_act, "baseline"};
+  }();
+  return set;
+}
+
+std::atomic<std::uint64_t> g_flops{0};
+std::atomic<std::uint64_t> g_calls{0};
+
+void record(std::size_t in, std::size_t out) {
+  const std::uint64_t flops = 2ULL * in * out;
+  g_flops.fetch_add(flops, std::memory_order_relaxed);
+  g_calls.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& flop_counter =
+        telemetry::MetricsRegistry::global().counter("nn.gemv.flops");
+    static telemetry::Counter& call_counter =
+        telemetry::MetricsRegistry::global().counter("nn.gemv.calls");
+    flop_counter.add(flops);
+    call_counter.add(1);
+  }
+}
+
+static_assert(baseline::kNr == kPanelWidth);
+#ifdef DOSC_GEMV_HAVE_AVX2
+static_assert(avx2::kNr == kPanelWidth);
+#endif
+
+}  // namespace
+
+std::size_t packed_size(std::size_t in, std::size_t out) noexcept {
+  const std::size_t blocks = (out + kPanelWidth - 1) / kPanelWidth;
+  return blocks * kPanelWidth * in;
+}
+
+void pack(std::size_t in, std::size_t out, const double* w, double* packed) {
+  // Panel jb holds W[:, j0:j0+nc) as [in x kPanelWidth] rows, zero-padded on
+  // the right edge. The layout is a pure copy — no arithmetic — so packing
+  // needs no ISA dispatch and a pack is valid for either kernel set.
+  double* dst = packed;
+  for (std::size_t j0 = 0; j0 < out; j0 += kPanelWidth) {
+    const std::size_t nc = std::min(kPanelWidth, out - j0);
+    const double* src = w + j0;
+    for (std::size_t p = 0; p < in; ++p, src += out, dst += kPanelWidth) {
+      for (std::size_t j = 0; j < nc; ++j) dst[j] = src[j];
+      for (std::size_t j = nc; j < kPanelWidth; ++j) dst[j] = 0.0;
+    }
+  }
+}
+
+void bias_act(std::size_t in, std::size_t out, const double* x, const double* packed,
+              const double* bias, int activation, double* y) {
+  record(in, out);
+  kernels().gemv(in, out, x, packed, bias, activation, y);
+}
+
+const char* isa_name() noexcept { return kernels().isa; }
+
+std::uint64_t flop_count() noexcept { return g_flops.load(std::memory_order_relaxed); }
+std::uint64_t call_count() noexcept { return g_calls.load(std::memory_order_relaxed); }
+
+}  // namespace dosc::nn::gemv

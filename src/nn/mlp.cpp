@@ -1,12 +1,28 @@
 #include "nn/mlp.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
+
+#include "nn/gemv.hpp"
 
 namespace dosc::nn {
 
+/// Packed gemv panels for every layer, built lazily on first predict_row and
+/// invalidated by weight mutation (non-const layers(), set_parameters, copy
+/// assignment). `valid` is the publication flag: readers acquire-load it and
+/// only fall into the mutex on a miss, so the steady-state fast path is one
+/// atomic load.
+struct Mlp::PackCache {
+  std::mutex mu;
+  std::atomic<bool> valid{false};
+  std::vector<gemv::AlignedBuffer> panels;  ///< one packed slab per layer
+};
+
 Mlp::Mlp(std::vector<std::size_t> layer_sizes, Activation hidden, Activation output,
          std::uint64_t seed, double head_stddev) {
+  pack_ = std::make_unique<PackCache>();
   if (layer_sizes.size() < 2) throw std::invalid_argument("Mlp: need at least in+out sizes");
   util::Rng rng(seed);
   for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
@@ -24,6 +40,45 @@ Mlp::Mlp(std::vector<std::size_t> layer_sizes, Activation hidden, Activation out
     layer.grad_bias = Matrix(1, layer_sizes[i + 1]);
     layers_.push_back(std::move(layer));
   }
+}
+
+Mlp::Mlp(const Mlp& other) : layers_(other.layers_), pack_(std::make_unique<PackCache>()) {}
+
+Mlp& Mlp::operator=(const Mlp& other) {
+  if (this == &other) return *this;
+  layers_ = other.layers_;
+  if (pack_) {
+    invalidate_pack();
+  } else {
+    pack_ = std::make_unique<PackCache>();  // this was moved-from
+  }
+  return *this;
+}
+
+Mlp::Mlp(Mlp&&) noexcept = default;
+Mlp& Mlp::operator=(Mlp&&) noexcept = default;
+Mlp::~Mlp() = default;
+
+void Mlp::invalidate_pack() noexcept {
+  if (pack_) pack_->valid.store(false, std::memory_order_release);
+}
+
+const Mlp::PackCache& Mlp::ensure_packed() const {
+  PackCache& cache = *pack_;
+  if (!cache.valid.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (!cache.valid.load(std::memory_order_relaxed)) {
+      cache.panels.resize(layers_.size());
+      for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const DenseLayer& layer = layers_[i];
+        cache.panels[i].resize(gemv::packed_size(layer.fan_in(), layer.fan_out()));
+        gemv::pack(layer.fan_in(), layer.fan_out(), layer.weights.data(),
+                   cache.panels[i].data());
+      }
+      cache.valid.store(true, std::memory_order_release);
+    }
+  }
+  return cache;
 }
 
 void Mlp::apply_activation(Matrix& m, Activation act) noexcept {
@@ -62,6 +117,28 @@ Matrix Mlp::predict(const Matrix& x) const {
 
 void Mlp::predict_row(std::span<const double> input, std::vector<double>& out,
                       Scratch& scratch) const {
+  if (input.size() != input_size()) throw std::invalid_argument("predict_row: input size");
+  const PackCache& cache = ensure_packed();
+  const double* cur = input.data();
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const DenseLayer& layer = layers_[li];
+    double* dst;
+    if (li + 1 == layers_.size()) {
+      out.resize(layer.fan_out());
+      dst = out.data();
+    } else {
+      std::vector<double>& buf = (li % 2 == 0) ? scratch.a : scratch.b;
+      if (buf.size() < layer.fan_out()) buf.resize(layer.fan_out());
+      dst = buf.data();
+    }
+    gemv::bias_act(layer.fan_in(), layer.fan_out(), cur, cache.panels[li].data(),
+                   layer.bias.data(), static_cast<int>(layer.activation), dst);
+    cur = dst;
+  }
+}
+
+void Mlp::predict_row_legacy(std::span<const double> input, std::vector<double>& out,
+                             Scratch& scratch) const {
   if (input.size() != input_size()) throw std::invalid_argument("predict_row: input size");
   scratch.a.assign(input.begin(), input.end());
   for (const DenseLayer& layer : layers_) {
@@ -185,6 +262,7 @@ void Mlp::set_parameters(const std::vector<double>& flat) {
               layer.bias.data());
     offset += layer.bias.size();
   }
+  invalidate_pack();
 }
 
 }  // namespace dosc::nn

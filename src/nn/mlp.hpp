@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -45,6 +46,14 @@ class Mlp {
   Mlp(std::vector<std::size_t> layer_sizes, Activation hidden, Activation output,
       std::uint64_t seed, double head_stddev = 0.01);
 
+  // Copies share no packed-weight state (the copy repacks lazily on first
+  // predict_row); moves carry the cache along with the weights it mirrors.
+  Mlp(const Mlp& other);
+  Mlp& operator=(const Mlp& other);
+  Mlp(Mlp&&) noexcept;
+  Mlp& operator=(Mlp&&) noexcept;
+  ~Mlp();
+
   /// Training-mode forward: caches per-layer inputs/outputs for backward().
   /// Returns the last layer's cached output; the reference stays valid until
   /// the next forward(). Layer caches are reused across calls, so at a
@@ -57,13 +66,24 @@ class Mlp {
   /// Allocation-free single-observation forward for the per-decision hot
   /// path (a coordination decision is one of these; Fig. 9b measures it).
   /// `out` is resized to the output size; `scratch` is caller-provided
-  /// working memory reused across calls.
+  /// working memory reused across calls. Routed through the register-blocked
+  /// gemv kernels over packed weight panels owned by this Mlp (repacked
+  /// lazily after any weight mutation), and bit-identical to predict() at
+  /// the dispatched ISA level. `out` must not alias `input`. Thread-safe on
+  /// a const Mlp (per-caller scratch, one-time internal repack under a
+  /// mutex).
   struct Scratch {
     std::vector<double> a;
     std::vector<double> b;
   };
   void predict_row(std::span<const double> input, std::vector<double>& out,
                    Scratch& scratch) const;
+
+  /// The seed's scalar predict_row loop (bias-first accumulation with
+  /// zero-skip), kept verbatim as the pre-fast-path reference point for
+  /// bench_decide's interleaved A/B runs and the golden behaviour guard.
+  void predict_row_legacy(std::span<const double> input, std::vector<double>& out,
+                          Scratch& scratch) const;
 
   /// Backprop d(loss)/d(output) through the cached forward pass,
   /// accumulating parameter gradients. Returns the first layer's
@@ -79,7 +99,12 @@ class Mlp {
   void clip_grad_norm(double max_norm);
   void scale_grad(double factor);
 
-  std::vector<DenseLayer>& layers() noexcept { return layers_; }
+  /// Mutable access invalidates the packed inference panels (callers use
+  /// this to update weights in place, e.g. the KFAC updater).
+  std::vector<DenseLayer>& layers() noexcept {
+    invalidate_pack();
+    return layers_;
+  }
   const std::vector<DenseLayer>& layers() const noexcept { return layers_; }
   std::size_t input_size() const noexcept { return layers_.front().fan_in(); }
   std::size_t output_size() const noexcept { return layers_.back().fan_out(); }
@@ -89,9 +114,17 @@ class Mlp {
   void set_parameters(const std::vector<double>& flat);
 
  private:
+  struct PackCache;  // packed gemv weight panels (mutex + atomic valid flag)
+
   static void apply_activation(Matrix& m, Activation act) noexcept;
+  void invalidate_pack() noexcept;
+  const PackCache& ensure_packed() const;
 
   std::vector<DenseLayer> layers_;
+  /// Lazily packed per-layer weight panels for the gemv fast path. Mutable:
+  /// packing is a cache fill on a logically-const network. Held by pointer
+  /// so the synchronisation members don't pin the Mlp in place.
+  mutable std::unique_ptr<PackCache> pack_;
 };
 
 }  // namespace dosc::nn

@@ -31,7 +31,8 @@ double log_softmax_at(std::span<const double> logits, std::size_t index) {
 }
 
 double softmax_entropy(std::span<const double> logits) {
-  const std::vector<double> probs = softmax(logits);
+  thread_local std::vector<double> probs;  // scratch: no steady-state allocation
+  softmax_into(logits, probs);
   double h = 0.0;
   for (const double p : probs) {
     if (p > 0.0) h -= p * std::log(p);
@@ -75,16 +76,34 @@ namespace {
 // concurrent use of one shared const ActorCritic across worker threads.
 thread_local nn::Mlp::Scratch t_scratch;
 thread_local std::vector<double> t_logits;
+thread_local std::vector<double> t_probs;
 }  // namespace
 
-std::vector<double> ActorCritic::action_probs(std::span<const double> obs) const {
+const std::vector<double>& ActorCritic::action_probs(std::span<const double> obs) const {
   actor_.predict_row(obs, t_logits, t_scratch);
-  return softmax(t_logits);
+  softmax_into(t_logits, t_probs);
+  return t_probs;
 }
 
 int ActorCritic::sample_action(std::span<const double> obs, util::Rng& rng) const {
-  std::vector<double> probs = action_probs(obs);
-  return static_cast<int>(rng.categorical(probs));
+  actor_.predict_row(obs, t_logits, t_scratch);
+  softmax_into(t_logits, t_probs);
+  // Inline CDF walk over the softmax scratch, replicating
+  // util::Rng::categorical step for step (total in index order, the
+  // degenerate-weights guard before any draw, one uniform(0, total) sample,
+  // subtraction walk): the engine consumption — and with it every
+  // downstream random stream — stays bit-identical to the vector version.
+  double total = 0.0;
+  for (const double p : t_probs) total += p;
+  if (total <= 0.0 || t_probs.empty()) {
+    return t_probs.empty() ? 0 : static_cast<int>(t_probs.size()) - 1;
+  }
+  double u = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < t_probs.size(); ++i) {
+    u -= t_probs[i];
+    if (u <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(t_probs.size()) - 1;
 }
 
 int ActorCritic::greedy_action(std::span<const double> obs) const {

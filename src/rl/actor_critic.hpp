@@ -32,7 +32,8 @@ std::vector<double> softmax(std::span<const double> logits);
 void softmax_into(std::span<const double> logits, std::vector<double>& probs);
 /// log(softmax(logits))[index], computed stably.
 double log_softmax_at(std::span<const double> logits, std::size_t index);
-/// Entropy of softmax(logits) in nats.
+/// Entropy of softmax(logits) in nats. Computes in thread-local scratch:
+/// allocation-free at steady state.
 double softmax_entropy(std::span<const double> logits);
 
 class ActorCritic {
@@ -42,7 +43,14 @@ class ActorCritic {
   const ActorCriticConfig& config() const noexcept { return config_; }
 
   // --- inference (const, thread-safe) ---
-  std::vector<double> action_probs(std::span<const double> obs) const;
+  /// Softmax policy over the actions. Returns a reference to a thread-local
+  /// buffer (allocation-free at steady state); the contents are valid until
+  /// this thread's next action_probs/sample_action call. Copy to retain.
+  const std::vector<double>& action_probs(std::span<const double> obs) const;
+  /// Samples from action_probs without materialising a fresh vector: an
+  /// inline CDF walk over the softmax scratch that consumes the engine
+  /// exactly like util::Rng::categorical, so sampling streams are
+  /// bit-identical to the allocating version.
   int sample_action(std::span<const double> obs, util::Rng& rng) const;
   int greedy_action(std::span<const double> obs) const;
   double value(std::span<const double> obs) const;

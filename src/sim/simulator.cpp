@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <string>
 
@@ -56,8 +57,13 @@ const char* drop_reason_name(DropReason reason) noexcept {
   return "?";
 }
 
+namespace {
+std::atomic<std::uint64_t> g_next_instance_id{1};
+}  // namespace
+
 Simulator::Simulator(const Scenario& scenario, std::uint64_t seed)
     : scenario_(scenario), network_(scenario.network()), rng_(seed) {
+  instance_id_ = g_next_instance_id.fetch_add(1, std::memory_order_relaxed);
   // Per-seed capacity draw, as in the paper's 30-seed experiment runs.
   util::Rng cap_rng = rng_.fork(1);
   const ScenarioConfig& config = scenario_.config();

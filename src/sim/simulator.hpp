@@ -58,6 +58,12 @@ class Simulator {
 
   // --- state accessors (valid inside Coordinator/FlowObserver callbacks) ---
   double time() const noexcept { return time_; }
+  /// Process-unique identity of this Simulator instance (monotonic
+  /// construction counter, never 0). Episode-scoped caches key on this
+  /// rather than the object address: per-seed capacity randomization makes
+  /// simulator state instance-specific, and a new Simulator can legally
+  /// reuse a destroyed one's address.
+  std::uint64_t instance_id() const noexcept { return instance_id_; }
   const Scenario& scenario() const noexcept { return scenario_; }
   const net::Network& network() const noexcept { return network_; }
   const net::ShortestPaths& shortest_paths() const noexcept {
@@ -311,6 +317,7 @@ class Simulator {
   std::vector<Event> event_pool_;
   std::vector<std::uint32_t> event_free_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t instance_id_ = 0;
   double time_ = 0.0;
   bool ran_ = false;
   bool time_decisions_ = false;

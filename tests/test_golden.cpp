@@ -174,6 +174,33 @@ TEST(Golden, ShortestPathNodeFailureCasualtyOrder) {
   EXPECT_EQ(run.digest, 0x642c35486f336aa8ULL);
 }
 
+TEST(Golden, FastPathMatchesLegacyDecisionStream) {
+  // The decision fast path (packed gemv forward, bound observation tables,
+  // fused decide) against the frozen pre-PR pipeline
+  // (LegacyDistributedDrlCoordinator): same policy, same seed — the greedy
+  // decision stream, and therefore the full event digest and SimMetrics,
+  // must be identical. The legacy forward accumulates bias-first with
+  // zero-input skipping, so the two logit vectors differ in final ulps;
+  // this pin asserts those ulps never flip an argmax on the golden episode.
+  // Gated on the avx2+fma dispatch like the other NN pins: on the baseline
+  // ISA both paths still agree (same madd), but the episode differs from
+  // the pinned one.
+  if (!exact_nn_pins()) GTEST_SKIP() << "NN goldens pinned for avx2+fma";
+  const sim::Scenario scenario = golden_scenario();
+  const rl::ActorCritic policy = dist_policy(scenario);
+  core::DistributedDrlCoordinator fast(policy, scenario.network().max_degree());
+  const GoldenRun fast_run = run_audited(scenario, fast, "dist_fast");
+  core::LegacyDistributedDrlCoordinator legacy(policy, scenario.network().max_degree());
+  const GoldenRun legacy_run = run_audited(scenario, legacy, "dist_legacy");
+  EXPECT_EQ(fast_run.digest, legacy_run.digest);
+  EXPECT_EQ(fast_run.events, legacy_run.events);
+  EXPECT_EQ(fast_run.metrics.succeeded, legacy_run.metrics.succeeded);
+  EXPECT_EQ(fast_run.metrics.dropped, legacy_run.metrics.dropped);
+  // And both equal the pinned digest of Golden.DistributedDrlAbilene, so
+  // the fast path is pinned transitively too.
+  EXPECT_EQ(fast_run.digest, 0x4a23a9d2824a7557ULL);
+}
+
 TEST(Golden, DigestIsComputeThreadInvariant) {
   // The event stream (hence the digest) must not depend on DOSC_THREADS:
   // the NN kernels are bit-deterministic by thread count.

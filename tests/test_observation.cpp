@@ -3,6 +3,8 @@
 // (F_f, R^L, R^V, D, X) on hand-checkable networks.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/observation.hpp"
 #include "test_helpers.hpp"
 
@@ -234,6 +236,62 @@ TEST(Observation, RejectsNodeAboveLayoutDegree) {
   sim::Simulator sim(scenario, 1);
   sim.run(coordinator);
   EXPECT_TRUE(threw);
+}
+
+TEST(Observation, BoundFastPathBitIdenticalToGeneric) {
+  // bind() precomputes flat per-node tables (CSR neighbours, delay-via,
+  // pre-clamped normalisers) so build() is pure array indexing — but the
+  // arithmetic is operation-for-operation the generic path, so every
+  // observation must be bit-identical, at every decision of a real episode.
+  const sim::Scenario scenario = sim::make_base_scenario(3).with_end_time(400.0);
+  const std::size_t max_degree = scenario.network().max_degree();
+  ObservationBuilder bound(max_degree);
+  ObservationBuilder generic(max_degree);
+  std::size_t decisions = 0;
+  std::size_t byte_mismatches = 0;
+  LambdaCoordinator coordinator(
+      [&](const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) -> int {
+        if (!bound.bound()) bound.bind(sim);
+        const std::vector<double>& fast = bound.build(sim, flow, node);
+        const std::vector<double>& slow = generic.build(sim, flow, node);
+        if (std::memcmp(fast.data(), slow.data(), fast.size() * sizeof(double)) != 0) {
+          ++byte_mismatches;
+        }
+        ++decisions;
+        return 0;
+      });
+  sim::Simulator sim(scenario, 1);
+  sim.run(coordinator);
+  EXPECT_GT(decisions, 100u);
+  EXPECT_EQ(byte_mismatches, 0u);
+}
+
+TEST(Observation, BindDispatchesOnSimulatorIdentity) {
+  // A builder bound to one simulator must fall back to the generic path for
+  // a different one (fresh episode, new Simulator instance) instead of
+  // reading stale tables.
+  const sim::Scenario scenario = sim::make_base_scenario(3).with_end_time(50.0);
+  const std::size_t max_degree = scenario.network().max_degree();
+  ObservationBuilder builder(max_degree);
+  ObservationBuilder reference(max_degree);
+  std::size_t mismatches = 0;
+  auto run_once = [&](std::uint64_t seed) {
+    LambdaCoordinator coordinator(
+        [&](const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) -> int {
+          // Never re-bound: after the first episode, `builder` holds tables
+          // for a dead Simulator and must detect the mismatch.
+          const std::vector<double>& a = builder.build(sim, flow, node);
+          const std::vector<double>& b = reference.build(sim, flow, node);
+          if (std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0) ++mismatches;
+          return 0;
+        });
+    sim::Simulator sim(scenario, seed);
+    if (!builder.bound()) builder.bind(sim);
+    sim.run(coordinator);
+  };
+  run_once(1);
+  run_once(2);  // different Simulator: bound tables must not be used
+  EXPECT_EQ(mismatches, 0u);
 }
 
 }  // namespace

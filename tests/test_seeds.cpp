@@ -79,5 +79,32 @@ TEST(SeedStreams, EvaluatePolicyIsThreadCountInvariant) {
   EXPECT_EQ(four.mean_e2e_delay, again.mean_e2e_delay);
 }
 
+TEST(SeedStreams, EvaluatePolicyIsEpisodeParallelismInvariant) {
+  // Episode-level parallelism (the --episodes-parallel fast path) must be
+  // bit-identical to the sequential loop: each episode is fully independent
+  // (own Simulator seeded seed_base + e, own coordinator), and per-episode
+  // stats are merged in ascending episode order after all workers join.
+  const sim::Scenario scenario = sim::make_base_scenario(2).with_end_time(600.0);
+  rl::ActorCriticConfig config;
+  config.obs_dim = observation_dim(scenario.network().max_degree());
+  config.num_actions = scenario.network().max_degree() + 1;
+  config.hidden = {32, 32};
+  config.seed = 5;
+  const rl::ActorCritic policy(config);
+
+  const EvalResult sequential =
+      evaluate_policy(scenario, policy, RewardConfig{}, 4, 600.0, 17, {}, 1);
+  const EvalResult pooled =
+      evaluate_policy(scenario, policy, RewardConfig{}, 4, 600.0, 17, {}, 4);
+  const EvalResult auto_sized =
+      evaluate_policy(scenario, policy, RewardConfig{}, 4, 600.0, 17, {}, 0);
+  EXPECT_EQ(sequential.success_ratio, pooled.success_ratio);
+  EXPECT_EQ(sequential.mean_reward, pooled.mean_reward);
+  EXPECT_EQ(sequential.mean_e2e_delay, pooled.mean_e2e_delay);
+  EXPECT_EQ(sequential.success_ratio, auto_sized.success_ratio);
+  EXPECT_EQ(sequential.mean_reward, auto_sized.mean_reward);
+  EXPECT_EQ(sequential.mean_e2e_delay, auto_sized.mean_e2e_delay);
+}
+
 }  // namespace
 }  // namespace dosc::core
