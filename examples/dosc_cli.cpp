@@ -12,6 +12,16 @@
 //                  concurrently, 0 = hardware threads, output unchanged)
 //   dosc_cli fuzz  [--seeds N] [--time MS]       differential fuzzing
 //   dosc_cli trace <out.json> [--seed S] [--horizon MS]
+//   dosc_cli serve <scenario.json> <policy.json> [...]   run the decision
+//                  daemon in-process (same flags as the dosc_serve binary)
+//   dosc_cli load  <scenario.json> --port P [--rate R] [--requests N]
+//                  open-loop Poisson load against a running daemon; prints
+//                  achieved rate and e2e latency percentiles
+//   dosc_cli init-policy <scenario.json> <policy.json> [--hidden N] [--seed S]
+//                  write an untrained policy snapshot (smoke tests, CI)
+//
+// Unknown subcommands and unknown per-subcommand flags exit non-zero with
+// this usage text.
 //
 // Global flags (any subcommand, default off):
 //   --log-level <trace|debug|info|warn|error|off>
@@ -40,6 +50,8 @@
 #include "core/trainer.hpp"
 #include "net/topology_io.hpp"
 #include "net/topology_zoo.hpp"
+#include "serve/daemon.hpp"
+#include "serve/loadgen.hpp"
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -60,6 +72,12 @@ int usage() {
                "                [--audit] [--stats]\n"
                "  dosc_cli fuzz [--seeds N] [--time MS]\n"
                "  dosc_cli trace <out.json> [--seed S] [--horizon MS]\n"
+               "  dosc_cli serve <scenario.json> <policy.json> [--port P] [--threads N]\n"
+               "                [--max-batch B] [--wait-us U] [--gemm-threshold X]\n"
+               "                [--force-gemv] [--reload-ms MS] [--duration S]\n"
+               "  dosc_cli load <scenario.json> --port P [--address A] [--rate R]\n"
+               "                [--requests N] [--seed S] [--drain-ms MS]\n"
+               "  dosc_cli init-policy <scenario.json> <policy.json> [--hidden N] [--seed S]\n"
                "global flags (default off):\n"
                "  --log-level <trace|debug|info|warn|error|off>\n"
                "  --telemetry-out <file>   metrics snapshot JSON (dosc.telemetry.v1)\n"
@@ -124,6 +142,34 @@ bool has_flag(int argc, char** argv, const char* name) {
   return false;
 }
 
+/// Strict flag validation: every "--" token after the subcommand must be a
+/// known flag of that subcommand. `value_flags` consume the next token;
+/// `bool_flags` stand alone. Unknown flags print an error and fail the
+/// command (non-zero exit with usage).
+bool check_flags(int argc, char** argv, std::initializer_list<const char*> value_flags,
+                 std::initializer_list<const char*> bool_flags = {}) {
+  const auto in = [](std::initializer_list<const char*> set, const char* token) {
+    for (const char* f : set) {
+      if (std::strcmp(f, token) == 0) return true;
+    }
+    return false;
+  };
+  for (int i = 2; i < argc; ++i) {
+    if (argv[i][0] != '-' || argv[i][1] != '-') continue;
+    if (in(value_flags, argv[i])) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        return false;
+      }
+      ++i;
+    } else if (!in(bool_flags, argv[i])) {
+      std::fprintf(stderr, "unknown flag for '%s': %s\n", argv[1], argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
 sim::Scenario load_scenario(const std::string& path) {
   const sim::ScenarioConfig config =
       sim::ScenarioConfig::from_json(util::Json::load_file(path));
@@ -131,7 +177,7 @@ sim::Scenario load_scenario(const std::string& path) {
 }
 
 int cmd_topology(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 3 || !check_flags(argc, argv, {})) return usage();
   const net::Network network = net::by_name(argv[2]);
   const net::TopologyStats s = net::stats(network);
   std::printf("%s: %zu nodes, %zu edges, degree %zu/%zu/%.2f, connected: %s\n",
@@ -144,7 +190,7 @@ int cmd_topology(int argc, char** argv) {
 }
 
 int cmd_train(int argc, char** argv) {
-  if (argc < 4) return usage();
+  if (argc < 4 || !check_flags(argc, argv, {"--iterations", "--seeds"})) return usage();
   const sim::Scenario scenario = load_scenario(argv[2]);
   core::TrainingConfig config;
   config.iterations = static_cast<std::size_t>(flag(argc, argv, "--iterations", 150));
@@ -165,7 +211,11 @@ int cmd_train(int argc, char** argv) {
 }
 
 int cmd_eval(int argc, char** argv) {
-  if (argc < 4) return usage();
+  if (argc < 4 ||
+      !check_flags(argc, argv, {"--policy", "--episodes", "--time", "--episodes-parallel"},
+                   {"--audit", "--stats"})) {
+    return usage();
+  }
   const sim::Scenario scenario = load_scenario(argv[2]);
   const std::string algo = argv[3];
   const std::size_t episodes = static_cast<std::size_t>(flag(argc, argv, "--episodes", 5));
@@ -306,6 +356,7 @@ int cmd_eval(int argc, char** argv) {
 }
 
 int cmd_fuzz(int argc, char** argv) {
+  if (!check_flags(argc, argv, {"--seeds", "--time"})) return usage();
   std::size_t seeds = static_cast<std::size_t>(flag(argc, argv, "--seeds", 25));
   if (const char* env = std::getenv("DOSC_FUZZ_SEEDS")) {
     seeds = static_cast<std::size_t>(std::atoll(env));
@@ -331,7 +382,7 @@ int cmd_fuzz(int argc, char** argv) {
 }
 
 int cmd_trace(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 3 || !check_flags(argc, argv, {"--seed", "--horizon"})) return usage();
   traffic::DiurnalTraceConfig config;
   config.seed = static_cast<std::uint64_t>(flag(argc, argv, "--seed", 42));
   config.horizon = flag(argc, argv, "--horizon", 20000.0);
@@ -339,6 +390,85 @@ int cmd_trace(int argc, char** argv) {
   trace.save(argv[2]);
   std::printf("wrote %zu-segment diurnal trace (horizon %.0f ms) to %s\n",
               trace.segments().size(), trace.horizon(), argv[2]);
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 4 ||
+      !check_flags(argc, argv,
+                   {"--port", "--threads", "--max-batch", "--wait-us", "--gemm-threshold",
+                    "--reload-ms", "--duration"},
+                   {"--force-gemv"})) {
+    return usage();
+  }
+  serve::DaemonOptions options;
+  options.scenario_path = argv[2];
+  options.policy_path = argv[3];
+  options.server.port = static_cast<std::uint16_t>(flag(argc, argv, "--port", 0));
+  options.server.threads = static_cast<std::size_t>(flag(argc, argv, "--threads", 1));
+  options.server.batcher.max_batch =
+      static_cast<std::size_t>(flag(argc, argv, "--max-batch", 32));
+  options.server.batcher.wait_budget_us =
+      static_cast<std::uint64_t>(flag(argc, argv, "--wait-us", 50));
+  options.server.batcher.gemm_threshold = flag(argc, argv, "--gemm-threshold", 2.0);
+  options.server.force_gemv = has_flag(argc, argv, "--force-gemv");
+  options.reload_ms = static_cast<std::uint64_t>(flag(argc, argv, "--reload-ms", 1000));
+  options.duration_s = flag(argc, argv, "--duration", 0.0);
+  return serve::run_daemon(options);
+}
+
+int cmd_load(int argc, char** argv) {
+  if (argc < 3 ||
+      !check_flags(argc, argv,
+                   {"--port", "--address", "--rate", "--requests", "--seed", "--drain-ms"})) {
+    return usage();
+  }
+  const sim::Scenario scenario = load_scenario(argv[2]);
+  serve::LoadConfig config;
+  config.port = static_cast<std::uint16_t>(flag(argc, argv, "--port", 0));
+  if (config.port == 0) {
+    std::fprintf(stderr, "load requires --port <server port>\n");
+    return 2;
+  }
+  config.address = flag_str(argc, argv, "--address", "127.0.0.1");
+  config.rate = flag(argc, argv, "--rate", 50000.0);
+  config.seed = static_cast<std::uint64_t>(flag(argc, argv, "--seed", 1));
+  config.drain_timeout_ms = static_cast<int>(flag(argc, argv, "--drain-ms", 500));
+  const std::size_t count = static_cast<std::size_t>(flag(argc, argv, "--requests", 100000));
+
+  const std::vector<serve::wire::Request> requests =
+      serve::make_request_mix(scenario, count, config.seed);
+  const serve::LoadReport report = serve::run_load(requests, config);
+  std::printf("load: sent %llu in %.2fs (offered %.0f req/s, achieved %.0f req/s)\n",
+              static_cast<unsigned long long>(report.sent), report.elapsed_s,
+              report.offered_rate, report.achieved_rate);
+  std::printf("      received %llu (%llu ok, %llu invalid, %llu server errors), "
+              "max batch seen %u\n",
+              static_cast<unsigned long long>(report.received),
+              static_cast<unsigned long long>(report.ok),
+              static_cast<unsigned long long>(report.invalid),
+              static_cast<unsigned long long>(report.server_errors), report.max_batch_seen);
+  if (report.e2e_us.count() > 0) {
+    std::printf("      e2e latency us: p50 %.1f p90 %.1f p99 %.1f max %.1f\n",
+                report.e2e_us.percentile(50), report.e2e_us.percentile(90),
+                report.e2e_us.percentile(99), report.e2e_us.max());
+  }
+  std::printf("      policy versions seen:");
+  for (const std::uint32_t v : report.policy_versions) std::printf(" %u", v);
+  std::printf("\n");
+  return report.received > 0 ? 0 : 1;
+}
+
+int cmd_init_policy(int argc, char** argv) {
+  if (argc < 4 || !check_flags(argc, argv, {"--hidden", "--seed"})) return usage();
+  const sim::Scenario scenario = load_scenario(argv[2]);
+  const std::size_t hidden = static_cast<std::size_t>(flag(argc, argv, "--hidden", 64));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flag(argc, argv, "--seed", 7));
+  const core::TrainedPolicy policy = serve::make_untrained_policy(scenario, hidden, seed);
+  core::save_policy(policy, argv[3]);
+  std::printf("wrote untrained policy for '%s' (%zu params, degree %zu) to %s\n",
+              scenario.config().name.c_str(), policy.parameters.size(), policy.max_degree,
+              argv[3]);
   return 0;
 }
 
@@ -364,6 +494,12 @@ int main(int argc, char** argv) {
       result = cmd_fuzz(argc, argv);
     } else if (command == "trace") {
       result = cmd_trace(argc, argv);
+    } else if (command == "serve") {
+      result = cmd_serve(argc, argv);
+    } else if (command == "load") {
+      result = cmd_load(argc, argv);
+    } else if (command == "init-policy") {
+      result = cmd_init_policy(argc, argv);
     } else {
       return usage();
     }

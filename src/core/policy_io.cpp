@@ -1,9 +1,71 @@
 #include "core/policy_io.hpp"
 
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
 namespace dosc::core {
+
+std::uint64_t policy_checksum(const std::vector<double>& parameters) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (const double p : parameters) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(p));
+    std::memcpy(&bits, &p, sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (bits >> (8 * byte)) & 0xffu;
+      h *= 0x100000001b3ull;  // FNV prime
+    }
+  }
+  return h;
+}
+
+std::size_t expected_parameter_count(const rl::ActorCriticConfig& config) noexcept {
+  // Dense layers in -> hidden... -> out, weights [in x out] plus bias [out],
+  // once for the actor head (num_actions) and once for the critic head (1).
+  const auto net_params = [&](std::size_t out_dim) {
+    std::size_t n = 0;
+    std::size_t prev = config.obs_dim;
+    for (const std::size_t h : config.hidden) {
+      n += prev * h + h;
+      prev = h;
+    }
+    n += prev * out_dim + out_dim;
+    return n;
+  };
+  return net_params(config.num_actions) + net_params(1);
+}
+
+void validate_policy(const TrainedPolicy& policy) {
+  const rl::ActorCriticConfig& c = policy.net_config;
+  if (c.obs_dim == 0 || c.num_actions == 0) {
+    throw std::runtime_error("policy snapshot invalid: zero obs_dim or num_actions");
+  }
+  if (policy.max_degree == 0) {
+    throw std::runtime_error("policy snapshot invalid: max_degree is 0");
+  }
+  const std::size_t expected = expected_parameter_count(c);
+  if (policy.parameters.size() != expected) {
+    throw std::runtime_error("policy snapshot invalid: parameter count " +
+                             std::to_string(policy.parameters.size()) + " does not match " +
+                             std::to_string(expected) +
+                             " for the declared network shape (truncated file?)");
+  }
+}
+
+namespace {
+
+std::string checksum_hex(std::uint64_t checksum) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(checksum));
+  return buf;
+}
+
+}  // namespace
 
 util::Json to_json(const TrainedPolicy& policy) {
   util::Json::Object o;
+  o["format_version"] = util::Json(static_cast<int>(kPolicyFormatVersion));
   o["obs_dim"] = util::Json(policy.net_config.obs_dim);
   o["num_actions"] = util::Json(policy.net_config.num_actions);
   util::Json::Array hidden;
@@ -13,6 +75,7 @@ util::Json to_json(const TrainedPolicy& policy) {
   o["max_degree"] = util::Json(policy.max_degree);
   o["eval_success_ratio"] = util::Json(policy.eval_success_ratio);
   o["eval_reward"] = util::Json(policy.eval_reward);
+  o["param_checksum"] = util::Json(checksum_hex(policy_checksum(policy.parameters)));
   util::Json::Array params;
   params.reserve(policy.parameters.size());
   for (const double p : policy.parameters) params.emplace_back(p);
@@ -24,6 +87,14 @@ util::Json to_json(const TrainedPolicy& policy) {
 }
 
 TrainedPolicy policy_from_json(const util::Json& json) {
+  if (json.contains("format_version")) {
+    const std::int64_t version = json.at("format_version").as_int();
+    if (version < 1 || version > kPolicyFormatVersion) {
+      throw std::runtime_error("policy snapshot has unsupported format_version " +
+                               std::to_string(version) + " (this build reads <= " +
+                               std::to_string(kPolicyFormatVersion) + ")");
+    }
+  }
   TrainedPolicy policy;
   policy.net_config.obs_dim = static_cast<std::size_t>(json.at("obs_dim").as_int());
   policy.net_config.num_actions = static_cast<std::size_t>(json.at("num_actions").as_int());
@@ -35,7 +106,9 @@ TrainedPolicy policy_from_json(const util::Json& json) {
   policy.max_degree = static_cast<std::size_t>(json.at("max_degree").as_int());
   policy.eval_success_ratio = json.number_or("eval_success_ratio", 0.0);
   policy.eval_reward = json.number_or("eval_reward", 0.0);
-  for (const util::Json& p : json.at("parameters").as_array()) {
+  const util::Json::Array& params = json.at("parameters").as_array();
+  policy.parameters.reserve(params.size());
+  for (const util::Json& p : params) {
     policy.parameters.push_back(p.as_number());
   }
   if (json.contains("per_seed_success")) {
@@ -43,6 +116,15 @@ TrainedPolicy policy_from_json(const util::Json& json) {
       policy.per_seed_success.push_back(s.as_number());
     }
   }
+  if (json.contains("param_checksum")) {
+    const std::string stored = json.at("param_checksum").as_string();
+    const std::string computed = checksum_hex(policy_checksum(policy.parameters));
+    if (stored != computed) {
+      throw std::runtime_error("policy snapshot corrupt: parameter checksum mismatch (stored " +
+                               stored + ", computed " + computed + ")");
+    }
+  }
+  validate_policy(policy);
   return policy;
 }
 

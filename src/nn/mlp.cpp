@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "nn/gemm.hpp"
 #include "nn/gemv.hpp"
 
 namespace dosc::nn {
@@ -133,6 +134,46 @@ void Mlp::predict_row(std::span<const double> input, std::vector<double>& out,
     }
     gemv::bias_act(layer.fan_in(), layer.fan_out(), cur, cache.panels[li].data(),
                    layer.bias.data(), static_cast<int>(layer.activation), dst);
+    cur = dst;
+  }
+}
+
+void Mlp::predict_batch(const double* input, std::size_t batch, std::vector<double>& out,
+                        BatchScratch& scratch) const {
+  if (batch == 0) {
+    out.clear();
+    return;
+  }
+  const double* cur = input;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const DenseLayer& layer = layers_[li];
+    const std::size_t in = layer.fan_in();
+    const std::size_t n_out = layer.fan_out();
+    double* dst;
+    if (li + 1 == layers_.size()) {
+      out.resize(batch * n_out);
+      dst = out.data();
+    } else {
+      std::vector<double>& buf = (li % 2 == 0) ? scratch.a : scratch.b;
+      if (buf.size() < batch * n_out) buf.resize(batch * n_out);
+      dst = buf.data();
+    }
+    gemm::nn(batch, n_out, in, cur, in, layer.weights.data(), n_out, dst, n_out,
+             /*accumulate=*/false);
+    const double* bias = layer.bias.data();
+    for (std::size_t r = 0; r < batch; ++r) {
+      double* row = dst + r * n_out;
+      for (std::size_t j = 0; j < n_out; ++j) row[j] += bias[j];
+    }
+    switch (layer.activation) {
+      case Activation::kLinear: break;
+      case Activation::kTanh:
+        for (std::size_t i = 0; i < batch * n_out; ++i) dst[i] = std::tanh(dst[i]);
+        break;
+      case Activation::kRelu:
+        for (std::size_t i = 0; i < batch * n_out; ++i) dst[i] = std::max(0.0, dst[i]);
+        break;
+    }
     cur = dst;
   }
 }

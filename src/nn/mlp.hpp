@@ -79,6 +79,21 @@ class Mlp {
   void predict_row(std::span<const double> input, std::vector<double>& out,
                    Scratch& scratch) const;
 
+  /// Small-batch inference forward for the serving path: `input` is a
+  /// row-major [batch x input_size] block, `out` is resized to
+  /// batch * output_size (row-major). Routed through the tiled gemm kernels
+  /// with the exact operation order of predict() (matmul → bias row add →
+  /// activation), so each output row is bit-identical to predict() — and
+  /// therefore to predict_row() — at the dispatched ISA level. Alloc-free at
+  /// a steady batch shape with a caller-reused scratch. Thread-safe on a
+  /// const Mlp (per-caller scratch only).
+  struct BatchScratch {
+    std::vector<double> a;
+    std::vector<double> b;
+  };
+  void predict_batch(const double* input, std::size_t batch, std::vector<double>& out,
+                     BatchScratch& scratch) const;
+
   /// The seed's scalar predict_row loop (bias-first accumulation with
   /// zero-skip), kept verbatim as the pre-fast-path reference point for
   /// bench_decide's interleaved A/B runs and the golden behaviour guard.

@@ -1,0 +1,111 @@
+#include "serve/daemon.hpp"
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "core/observation.hpp"
+#include "core/policy_io.hpp"
+#include "util/logging.hpp"
+
+namespace dosc::serve {
+
+namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+void handle_signal(int) { g_stop_requested.store(true, std::memory_order_release); }
+
+/// (mtime seconds, size) of path, or (0, 0) if it cannot be stat'ed.
+std::pair<std::int64_t, std::int64_t> file_stamp(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return {0, 0};
+  return {static_cast<std::int64_t>(st.st_mtime), static_cast<std::int64_t>(st.st_size)};
+}
+
+}  // namespace
+
+core::TrainedPolicy make_untrained_policy(const sim::Scenario& scenario, std::size_t hidden,
+                                          std::uint64_t seed) {
+  const std::size_t max_degree = scenario.network().max_degree();
+  core::TrainedPolicy policy;
+  policy.net_config.obs_dim = core::observation_dim(max_degree);
+  policy.net_config.num_actions = max_degree + 1;
+  policy.net_config.hidden = {hidden, hidden};
+  policy.net_config.seed = seed;
+  policy.max_degree = max_degree;
+  policy.parameters = rl::ActorCritic(policy.net_config).get_parameters();
+  return policy;
+}
+
+int run_daemon(const DaemonOptions& options) {
+  const sim::ScenarioConfig scenario_config =
+      sim::ScenarioConfig::from_json(util::Json::load_file(options.scenario_path));
+  const sim::Scenario scenario(scenario_config, sim::make_video_streaming_catalog());
+  core::TrainedPolicy policy = core::load_policy(options.policy_path);
+
+  UdpServer server(scenario, policy, options.server);
+  server.start();
+  if (options.announce_port) {
+    std::printf("PORT %u\n", static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+  }
+
+  g_stop_requested.store(false, std::memory_order_release);
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point started = Clock::now();
+  Clock::time_point last_reload_check = started;
+  auto stamp = file_stamp(options.policy_path);
+
+  while (!g_stop_requested.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const Clock::time_point now = Clock::now();
+    if (options.duration_s > 0.0 &&
+        std::chrono::duration<double>(now - started).count() >= options.duration_s) {
+      break;
+    }
+    if (options.reload_ms > 0 &&
+        now - last_reload_check >= std::chrono::milliseconds(options.reload_ms)) {
+      last_reload_check = now;
+      const auto current = file_stamp(options.policy_path);
+      if (current != stamp && current.second > 0) {
+        stamp = current;
+        try {
+          server.publish(core::load_policy(options.policy_path));
+          util::Log(util::LogLevel::kInfo, "serve")
+              << "hot-swapped policy from " << options.policy_path << " (version "
+              << server.stats().policy_version << ")";
+        } catch (const std::exception& e) {
+          // A half-written or incompatible snapshot must never take the
+          // daemon down; the previous policy keeps serving.
+          util::Log(util::LogLevel::kWarn, "serve")
+              << "policy reload failed, keeping current snapshot: " << e.what();
+        }
+      }
+    }
+  }
+
+  server.stop();
+  const ServerStats s = server.stats();
+  std::printf("dosc_serve: %llu requests, %llu responses, %llu protocol errors, "
+              "%llu invalid, %llu batches (%llu gemm, %llu gemv decides), "
+              "%llu hot swaps, policy v%u\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.responses),
+              static_cast<unsigned long long>(s.protocol_errors),
+              static_cast<unsigned long long>(s.invalid_requests),
+              static_cast<unsigned long long>(s.batches),
+              static_cast<unsigned long long>(s.gemm_batches),
+              static_cast<unsigned long long>(s.gemv_decides),
+              static_cast<unsigned long long>(s.hot_swaps), s.policy_version);
+  return 0;
+}
+
+}  // namespace dosc::serve

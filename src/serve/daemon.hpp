@@ -1,0 +1,41 @@
+// Daemon entry point shared by the `dosc_serve` binary and the
+// `dosc_cli serve` subcommand: load scenario + policy snapshot, run a
+// UdpServer until a signal / the configured duration, and hot-swap the
+// policy whenever the snapshot file changes on disk (mtime polling — the
+// operational loop the epoch-published PolicyStore exists for: retrain
+// offline, overwrite the file, the daemon picks it up without dropping a
+// request).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/trainer.hpp"
+#include "serve/server.hpp"
+#include "sim/scenario.hpp"
+
+namespace dosc::serve {
+
+struct DaemonOptions {
+  std::string scenario_path;
+  std::string policy_path;
+  ServerConfig server;
+  /// Poll the policy file for changes every this many ms; 0 disables.
+  std::uint64_t reload_ms = 1000;
+  /// Exit after this many seconds; 0 = run until SIGINT/SIGTERM.
+  double duration_s = 0.0;
+  /// Print the port as "PORT <n>" on stdout once listening (scripting).
+  bool announce_port = true;
+};
+
+/// Untrained randomly initialised policy for `scenario` — the layout the
+/// daemon serves, with weights drawn at `seed`. Lets smoke tests and CI
+/// exercise the full serving path without a training run.
+core::TrainedPolicy make_untrained_policy(const sim::Scenario& scenario,
+                                          std::size_t hidden = 64, std::uint64_t seed = 7);
+
+/// Blocking daemon loop; returns the process exit code. Prints a final
+/// stats line. Signal-safe shutdown (SIGINT/SIGTERM).
+int run_daemon(const DaemonOptions& options);
+
+}  // namespace dosc::serve

@@ -1,0 +1,243 @@
+#include "serve/loadgen.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace dosc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t now_ns(Clock::time_point origin) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - origin).count());
+}
+
+}  // namespace
+
+std::vector<wire::Request> make_request_mix(const sim::Scenario& scenario, std::size_t count,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t num_nodes = scenario.network().num_nodes();
+  const std::size_t num_services = scenario.catalog().num_services();
+  const auto& templates = scenario.config().flows;
+
+  std::vector<wire::Request> requests(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    wire::Request& r = requests[i];
+    r.request_id = i;
+    r.node = static_cast<std::uint16_t>(rng.uniform_int(0, static_cast<std::int64_t>(num_nodes) - 1));
+    r.egress = static_cast<std::uint16_t>(scenario.config().egress);
+    r.service =
+        static_cast<std::uint16_t>(rng.uniform_int(0, static_cast<std::int64_t>(num_services) - 1));
+    const std::size_t chain_len = scenario.catalog().service(r.service).length();
+    r.chain_pos = chain_len > 0 ? static_cast<std::uint16_t>(
+                                      rng.uniform_int(0, static_cast<std::int64_t>(chain_len) - 1))
+                                : 0;
+    const sim::FlowTemplate& tpl = templates.empty() ? sim::FlowTemplate{}
+                                                     : templates[static_cast<std::size_t>(
+                                                           rng.uniform_int(0, static_cast<std::int64_t>(
+                                                                                  templates.size()) -
+                                                                                  1))];
+    r.rate = static_cast<float>(tpl.rate * rng.uniform(0.5, 1.5));
+    r.duration = static_cast<float>(tpl.duration * rng.uniform(0.5, 1.5));
+    r.deadline = static_cast<float>(tpl.deadline);
+    r.elapsed = static_cast<float>(rng.uniform(0.0, tpl.deadline * 0.5));
+  }
+  return requests;
+}
+
+LoadReport run_load(const std::vector<wire::Request>& requests, const LoadConfig& config) {
+  if (config.rate <= 0.0) throw std::invalid_argument("loadgen: rate must be positive");
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw std::runtime_error(std::string("loadgen: socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("loadgen: invalid address " + config.address);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("loadgen: connect: " + err);
+  }
+  const int bufsize = 1 << 22;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bufsize, sizeof(bufsize));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bufsize, sizeof(bufsize));
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  // The Poisson schedule is drawn before the first send: the offered load
+  // is a property of the run, not of the server's responsiveness.
+  const std::size_t n = requests.size();
+  std::vector<std::uint64_t> send_at_ns(n);
+  {
+    util::Rng rng(config.seed ^ 0x6c6f6164u);  // decorrelate from the request mix
+    const double mean_gap_ns = 1e9 / config.rate;
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      t += rng.exponential(mean_gap_ns);
+      send_at_ns[i] = static_cast<std::uint64_t>(t);
+    }
+  }
+
+  LoadReport report;
+  report.offered_rate = config.rate;
+  if (config.record_actions) report.actions.assign(n, -1);
+
+  std::atomic<bool> sender_done{false};
+  std::atomic<std::uint64_t> sent{0};
+  const Clock::time_point origin = Clock::now();
+
+  // Receiver: drain replies until the sender is done and either every reply
+  // arrived or the drain timeout passed with no progress.
+  std::set<std::uint32_t> versions;
+  std::thread receiver([&] {
+    constexpr std::size_t kRecvBatch = 128;
+    std::array<std::array<std::uint8_t, wire::kMaxDatagram>, kRecvBatch> bufs;
+    std::array<iovec, kRecvBatch> iov;
+    std::array<mmsghdr, kRecvBatch> msgs;
+    for (std::size_t i = 0; i < kRecvBatch; ++i) {
+      iov[i].iov_base = bufs[i].data();
+      iov[i].iov_len = bufs[i].size();
+      std::memset(&msgs[i], 0, sizeof(msgs[i]));
+      msgs[i].msg_hdr.msg_iov = &iov[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    Clock::time_point last_progress = Clock::now();
+    while (true) {
+      const int got = ::recvmmsg(fd, msgs.data(), kRecvBatch, MSG_DONTWAIT, nullptr);
+      if (got > 0) {
+        last_progress = Clock::now();
+        const std::uint64_t now = now_ns(origin);
+        for (int i = 0; i < got; ++i) {
+          wire::Response response;
+          if (wire::decode_response(bufs[i].data(), msgs[i].msg_len, response) !=
+              wire::DecodeError::kOk) {
+            continue;
+          }
+          ++report.received;
+          report.e2e_us.add(static_cast<double>(now - response.cookie) / 1000.0);
+          versions.insert(response.policy_version);
+          report.max_batch_seen = std::max(report.max_batch_seen, response.batch_size);
+          switch (response.status) {
+            case wire::Status::kOk:
+              ++report.ok;
+              if (config.record_actions && response.request_id < report.actions.size()) {
+                report.actions[response.request_id] = response.action;
+              }
+              break;
+            case wire::Status::kInvalidRequest:
+              ++report.invalid;
+              break;
+            case wire::Status::kServerError:
+              ++report.server_errors;
+              break;
+          }
+        }
+        continue;
+      }
+      const bool done = sender_done.load(std::memory_order_acquire);
+      if (done && report.received >= sent.load(std::memory_order_acquire)) break;
+      if (done && Clock::now() - last_progress >
+                      std::chrono::milliseconds(config.drain_timeout_ms)) {
+        break;
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      ::poll(&pfd, 1, /*timeout_ms=*/10);
+    }
+  });
+
+  // Sender: fire every request whose scheduled instant has passed in one
+  // sendmmsg burst; sleep only when the next deadline is comfortably away.
+  {
+    constexpr std::size_t kSendBatch = 128;
+    std::array<std::array<std::uint8_t, wire::kRequestSize>, kSendBatch> bufs;
+    std::array<iovec, kSendBatch> iov;
+    std::array<mmsghdr, kSendBatch> msgs;
+    for (std::size_t i = 0; i < kSendBatch; ++i) {
+      iov[i].iov_base = bufs[i].data();
+      iov[i].iov_len = wire::kRequestSize;
+      std::memset(&msgs[i], 0, sizeof(msgs[i]));
+      msgs[i].msg_hdr.msg_iov = &iov[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    std::size_t next = 0;
+    while (next < n) {
+      const std::uint64_t now = now_ns(origin);
+      if (send_at_ns[next] > now) {
+        // Never busy-spin: on small machines the generator shares cores
+        // with the server under test, and a spinning sender starves it.
+        // Oversleeping is harmless for an open-loop run — the sender falls
+        // behind schedule and catches up with a larger burst, and latency
+        // is measured from the actual (stamped) send time.
+        const std::uint64_t gap = send_at_ns[next] - now;
+        if (gap > 5000) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(gap));
+        } else {
+          std::this_thread::yield();
+        }
+        continue;
+      }
+      std::size_t due = 0;
+      const std::uint64_t stamp = now_ns(origin);
+      while (due < kSendBatch && next + due < n && send_at_ns[next + due] <= stamp) {
+        wire::Request request = requests[next + due];
+        request.cookie = stamp;
+        wire::encode_request(request, bufs[due].data());
+        ++due;
+      }
+      std::size_t fired = 0;
+      while (fired < due) {
+        const int out =
+            ::sendmmsg(fd, msgs.data() + fired, static_cast<unsigned>(due - fired), 0);
+        if (out > 0) {
+          fired += static_cast<std::size_t>(out);
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+                   errno == ENOBUFS) {
+          pollfd pfd{fd, POLLOUT, 0};
+          ::poll(&pfd, 1, /*timeout_ms=*/10);
+        } else {
+          sender_done.store(true, std::memory_order_release);
+          receiver.join();
+          ::close(fd);
+          throw std::runtime_error(std::string("loadgen: sendmmsg: ") + std::strerror(errno));
+        }
+      }
+      next += due;
+      sent.fetch_add(due, std::memory_order_release);
+    }
+    report.elapsed_s = static_cast<double>(now_ns(origin)) / 1e9;
+  }
+  sender_done.store(true, std::memory_order_release);
+  receiver.join();
+  ::close(fd);
+
+  report.sent = sent.load(std::memory_order_relaxed);
+  report.achieved_rate =
+      report.elapsed_s > 0.0 ? static_cast<double>(report.sent) / report.elapsed_s : 0.0;
+  report.policy_versions.assign(versions.begin(), versions.end());
+  return report;
+}
+
+}  // namespace dosc::serve

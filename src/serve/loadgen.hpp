@@ -1,0 +1,68 @@
+// Open-loop load generator for dosc_serve.
+//
+// Open-loop means the send schedule never waits for responses: arrival
+// times are drawn up front from a Poisson process (exponential
+// inter-arrivals at the target rate) and the sender fires each request at
+// its scheduled instant whether or not earlier replies have come back.
+// This is the honest way to measure a service under load — closed-loop
+// clients self-throttle and hide queueing collapse.
+//
+// Each request carries a cookie stamped with the send time (steady-clock
+// nanoseconds); the server echoes it, so the receiver computes end-to-end
+// latency without any shared clock or request table. Responses are matched
+// back to requests by request_id (the generator assigns ids 0..n-1), which
+// also lets callers compare per-request decisions across runs — the bench
+// uses this to assert the GEMM and GEMV paths decide identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+#include "sim/scenario.hpp"
+#include "telemetry/histogram.hpp"
+
+namespace dosc::serve {
+
+struct LoadConfig {
+  std::string address = "127.0.0.1";
+  std::uint16_t port = 0;
+  double rate = 50000.0;  ///< target offered load, requests per second
+  std::uint64_t seed = 1;
+  /// Keep per-request actions in the report (indexed by request_id).
+  bool record_actions = false;
+  /// How long the receiver keeps draining after the last send (ms).
+  int drain_timeout_ms = 500;
+};
+
+struct LoadReport {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t invalid = 0;       ///< kInvalidRequest replies
+  std::uint64_t server_errors = 0; ///< kServerError replies
+  double elapsed_s = 0.0;          ///< first send to last send
+  double offered_rate = 0.0;       ///< configured target
+  double achieved_rate = 0.0;      ///< sent / elapsed_s
+  std::uint16_t max_batch_seen = 0;
+  std::vector<std::uint32_t> policy_versions;  ///< distinct versions, sorted
+  telemetry::Histogram e2e_us;     ///< send-to-receive latency per reply
+  /// Per-request actions when record_actions is set: actions[id] is the
+  /// served action, -1 if no reply arrived. Empty otherwise.
+  std::vector<int> actions;
+};
+
+/// Draw `count` valid requests against `scenario`: random ingress node and
+/// service, random chain position, flow descriptor jittered around the
+/// scenario's templates. request_id is the index; cookies are stamped at
+/// send time. Deterministic in `seed`.
+std::vector<wire::Request> make_request_mix(const sim::Scenario& scenario, std::size_t count,
+                                            std::uint64_t seed);
+
+/// Fire `requests` at the server on the open-loop Poisson schedule and
+/// collect replies. Blocks until all requests are sent and the drain
+/// timeout expires (or every reply arrived). Throws on socket errors.
+LoadReport run_load(const std::vector<wire::Request>& requests, const LoadConfig& config);
+
+}  // namespace dosc::serve

@@ -1,0 +1,125 @@
+#include "serve/wire.hpp"
+
+#include <cstring>
+
+namespace dosc::serve::wire {
+
+namespace {
+
+// Fixed little-endian field accessors: byte-order independent of the host,
+// and free of alignment assumptions (datagram buffers are raw bytes).
+void put_u16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_f32(std::uint8_t* p, float v) noexcept {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(p, bits);
+}
+std::uint16_t get_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+float get_f32(const std::uint8_t* p) noexcept {
+  const std::uint32_t bits = get_u32(p);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+DecodeError check_frame(const std::uint8_t* data, std::size_t len, std::size_t frame_size,
+                        std::uint32_t magic) noexcept {
+  if (len < frame_size) return DecodeError::kTooShort;
+  if (len > frame_size) return DecodeError::kBadLength;
+  if (get_u32(data) != magic) return DecodeError::kBadMagic;
+  if (data[4] != kWireVersion) return DecodeError::kBadVersion;
+  return DecodeError::kOk;
+}
+
+}  // namespace
+
+const char* decode_error_name(DecodeError error) noexcept {
+  switch (error) {
+    case DecodeError::kOk: return "ok";
+    case DecodeError::kTooShort: return "too_short";
+    case DecodeError::kBadLength: return "bad_length";
+    case DecodeError::kBadMagic: return "bad_magic";
+    case DecodeError::kBadVersion: return "bad_version";
+  }
+  return "unknown";
+}
+
+void encode_request(const Request& request, std::uint8_t* out) noexcept {
+  put_u32(out, kRequestMagic);
+  out[4] = kWireVersion;
+  out[5] = 0;  // flags
+  put_u16(out + 6, 0);
+  put_u64(out + 8, request.request_id);
+  put_u64(out + 16, request.cookie);
+  put_u16(out + 24, request.node);
+  put_u16(out + 26, request.egress);
+  put_u16(out + 28, request.service);
+  put_u16(out + 30, request.chain_pos);
+  put_f32(out + 32, request.rate);
+  put_f32(out + 36, request.duration);
+  put_f32(out + 40, request.deadline);
+  put_f32(out + 44, request.elapsed);
+}
+
+DecodeError decode_request(const std::uint8_t* data, std::size_t len, Request& out) noexcept {
+  const DecodeError err = check_frame(data, len, kRequestSize, kRequestMagic);
+  if (err != DecodeError::kOk) return err;
+  out.request_id = get_u64(data + 8);
+  out.cookie = get_u64(data + 16);
+  out.node = get_u16(data + 24);
+  out.egress = get_u16(data + 26);
+  out.service = get_u16(data + 28);
+  out.chain_pos = get_u16(data + 30);
+  out.rate = get_f32(data + 32);
+  out.duration = get_f32(data + 36);
+  out.deadline = get_f32(data + 40);
+  out.elapsed = get_f32(data + 44);
+  return DecodeError::kOk;
+}
+
+void encode_response(const Response& response, std::uint8_t* out) noexcept {
+  put_u32(out, kResponseMagic);
+  out[4] = kWireVersion;
+  out[5] = static_cast<std::uint8_t>(response.status);
+  put_u16(out + 6, response.action);
+  put_u64(out + 8, response.request_id);
+  put_u64(out + 16, response.cookie);
+  put_u32(out + 24, response.policy_version);
+  put_u16(out + 28, response.batch_size);
+  put_u16(out + 30, 0);
+}
+
+DecodeError decode_response(const std::uint8_t* data, std::size_t len, Response& out) noexcept {
+  const DecodeError err = check_frame(data, len, kResponseSize, kResponseMagic);
+  if (err != DecodeError::kOk) return err;
+  out.status = static_cast<Status>(data[5]);
+  out.action = get_u16(data + 6);
+  out.request_id = get_u64(data + 8);
+  out.cookie = get_u64(data + 16);
+  out.policy_version = get_u32(data + 24);
+  out.batch_size = get_u16(data + 28);
+  return DecodeError::kOk;
+}
+
+}  // namespace dosc::serve::wire

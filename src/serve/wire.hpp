@@ -1,0 +1,103 @@
+// dosc_serve wire protocol v1: compact fixed-size little-endian datagrams.
+//
+// One coordination request per UDP datagram, one decision per reply. The
+// format is versioned (a major-version byte after the magic) and strictly
+// sized: a datagram that is not exactly kRequestSize bytes, or whose magic
+// or version does not match, is a protocol error — the daemon counts it
+// (serve.protocol_errors) and drops it without replying, since nothing in
+// it can be trusted as a request id.
+//
+// Request (48 bytes):
+//   u32  magic        "DSRQ"
+//   u8   version      kWireVersion
+//   u8   flags        reserved, ignored by v1 servers
+//   u16  reserved
+//   u64  request_id   echoed verbatim
+//   u64  cookie       opaque, echoed verbatim (load generators put their
+//                     send timestamp here to measure e2e latency)
+//   u16  node         where the decision is made (the flow's current node)
+//   u16  egress       v_eg
+//   u16  service      service chain id (scenario catalog index)
+//   u16  chain_pos    index of the requested component; == chain length
+//                     once fully processed
+//   f32  rate         lambda_f (Mbit/s-equivalent scenario units)
+//   f32  duration     delta_f (ms)
+//   f32  deadline     tau_f (ms, relative to flow arrival)
+//   f32  elapsed      ms since flow arrival (deadline countdown)
+//
+// Response (32 bytes):
+//   u32  magic        "DSRP"
+//   u8   version      kWireVersion
+//   u8   status       Status
+//   u16  action       0 = process locally, 1..Delta_G = forward to the
+//                     a-th neighbour (valid only when status == kOk)
+//   u64  request_id   echoed
+//   u64  cookie       echoed
+//   u32  policy_version  snapshot the decision was computed with
+//   u16  batch_size   size of the GEMM batch this request was decided in
+//   u16  reserved
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dosc::serve::wire {
+
+inline constexpr std::uint32_t kRequestMagic = 0x51525344u;   // "DSRQ" little-endian
+inline constexpr std::uint32_t kResponseMagic = 0x50525344u;  // "DSRP" little-endian
+inline constexpr std::uint8_t kWireVersion = 1;
+
+inline constexpr std::size_t kRequestSize = 48;
+inline constexpr std::size_t kResponseSize = 32;
+/// recv buffer size: anything longer than a valid request is oversized and
+/// must be classified as a protocol error, not truncated-and-accepted.
+inline constexpr std::size_t kMaxDatagram = 512;
+
+struct Request {
+  std::uint64_t request_id = 0;
+  std::uint64_t cookie = 0;
+  std::uint16_t node = 0;
+  std::uint16_t egress = 0;
+  std::uint16_t service = 0;
+  std::uint16_t chain_pos = 0;
+  float rate = 1.0f;
+  float duration = 1.0f;
+  float deadline = 100.0f;
+  float elapsed = 0.0f;
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kInvalidRequest = 1,  ///< decodable, but fields outside the scenario
+  kServerError = 2,
+};
+
+struct Response {
+  std::uint64_t request_id = 0;
+  std::uint64_t cookie = 0;
+  Status status = Status::kOk;
+  std::uint16_t action = 0;
+  std::uint32_t policy_version = 0;
+  std::uint16_t batch_size = 0;
+};
+
+enum class DecodeError {
+  kOk = 0,
+  kTooShort,    ///< fewer bytes than the fixed frame
+  kBadLength,   ///< more bytes than the fixed frame (trailing garbage)
+  kBadMagic,
+  kBadVersion,
+};
+
+const char* decode_error_name(DecodeError error) noexcept;
+
+/// Serialize into `out`, which must hold kRequestSize / kResponseSize bytes.
+void encode_request(const Request& request, std::uint8_t* out) noexcept;
+void encode_response(const Response& response, std::uint8_t* out) noexcept;
+
+/// Parse a received datagram. Never reads past `len`; on any error the
+/// output struct is left unspecified. Safe on arbitrary hostile input.
+DecodeError decode_request(const std::uint8_t* data, std::size_t len, Request& out) noexcept;
+DecodeError decode_response(const std::uint8_t* data, std::size_t len, Response& out) noexcept;
+
+}  // namespace dosc::serve::wire

@@ -52,6 +52,51 @@ TEST(Mlp, PredictRowMatchesPredict) {
   EXPECT_THROW(net.predict_row(std::vector<double>(5), out, scratch), std::invalid_argument);
 }
 
+TEST(Mlp, PredictBatchBitIdenticalToPredictAndPredictRow) {
+  util::Rng rng(5);
+  for (const Activation hidden : {Activation::kTanh, Activation::kRelu}) {
+    Mlp net({6, 9, 5, 4}, hidden, Activation::kLinear, 13);
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{2}, std::size_t{17},
+                                    std::size_t{64}}) {
+      const Matrix x = random_matrix(batch, 6, rng);
+      const Matrix full = net.predict(x);
+
+      Mlp::BatchScratch scratch;
+      std::vector<double> out;
+      net.predict_batch(x.data(), batch, out, scratch);
+      ASSERT_EQ(out.size(), batch * 4);
+      // The serving daemon's GEMM/GEMV decision-equivalence guarantee
+      // rests on exact equality here — not approximate.
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], full.data()[i]) << "batch " << batch << " element " << i;
+      }
+
+      Mlp::Scratch row_scratch;
+      std::vector<double> row_out;
+      for (std::size_t r = 0; r < batch; ++r) {
+        net.predict_row(x.row(r), row_out, row_scratch);
+        for (std::size_t j = 0; j < 4; ++j) {
+          EXPECT_EQ(row_out[j], out[r * 4 + j]) << "row " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(Mlp, PredictBatchReusesScratchWithoutCrosstalk) {
+  util::Rng rng(6);
+  Mlp net({4, 8, 3}, Activation::kTanh, Activation::kLinear, 2);
+  Mlp::BatchScratch scratch;
+  std::vector<double> out;
+  const Matrix big = random_matrix(32, 4, rng);
+  net.predict_batch(big.data(), 32, out, scratch);
+  const Matrix small = random_matrix(3, 4, rng);
+  net.predict_batch(small.data(), 3, out, scratch);  // shrinking batch reuses buffers
+  const Matrix expect = net.predict(small);
+  ASSERT_EQ(out.size(), 3u * 3u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], expect.data()[i]);
+}
+
 class MlpGradientCheck : public ::testing::TestWithParam<Activation> {};
 
 TEST_P(MlpGradientCheck, NumericalGradientsMatchBackprop) {
