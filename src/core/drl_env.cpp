@@ -13,12 +13,13 @@ RewardShaper::RewardShaper(const RewardConfig& config, double network_diameter)
 
 TrainingEnv::TrainingEnv(const rl::ActorCritic& policy, rl::TrajectoryBuffer& buffer,
                          const RewardConfig& reward, std::size_t max_degree, util::Rng rng,
-                         ObservationMask mask)
+                         ObservationMask mask, bool record_behavior_logp)
     : policy_(policy),
       buffer_(buffer),
       reward_config_(reward),
       obs_(max_degree, mask),
-      rng_(rng) {}
+      rng_(rng),
+      record_behavior_logp_(record_behavior_logp) {}
 
 void TrainingEnv::on_episode_start(const sim::Simulator& sim) {
   sim_ = &sim;
@@ -29,6 +30,12 @@ void TrainingEnv::on_episode_start(const sim::Simulator& sim) {
 
 int TrainingEnv::decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) {
   const std::vector<double>& obs = obs_.build(sim, flow, node);
+  if (record_behavior_logp_) {
+    double logp = 0.0;
+    const int action = policy_.sample_action(obs, rng_, &logp);
+    buffer_.record_decision(flow.id, obs, action, logp);
+    return action;
+  }
   const int action = policy_.sample_action(obs, rng_);
   buffer_.record_decision(flow.id, obs, action);
   return action;

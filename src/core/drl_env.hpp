@@ -52,9 +52,12 @@ class RewardShaper {
 /// both simulator callbacks; plug one instance into one Simulator episode.
 class TrainingEnv final : public sim::Coordinator, public sim::FlowObserver {
  public:
+  /// `record_behavior_logp` additionally stores log pi(a|o) with every
+  /// decision (async training's clipped-IS correction needs it). The rng
+  /// stream and action sequence are bit-identical either way.
   TrainingEnv(const rl::ActorCritic& policy, rl::TrajectoryBuffer& buffer,
               const RewardConfig& reward, std::size_t max_degree, util::Rng rng,
-              ObservationMask mask = {});
+              ObservationMask mask = {}, bool record_behavior_logp = false);
 
   int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
   void on_episode_start(const sim::Simulator& sim) override;
@@ -78,6 +81,7 @@ class TrainingEnv final : public sim::Coordinator, public sim::FlowObserver {
   util::Rng rng_;
   const sim::Simulator* sim_ = nullptr;
   double episode_reward_ = 0.0;
+  bool record_behavior_logp_ = false;
 };
 
 /// Fully distributed online inference (Alg. 1, lines 13-19): a trained

@@ -38,8 +38,8 @@ void OnlineTrainingCoordinator::on_periodic(const sim::Simulator& /*sim*/, doubl
   if (buffer_.completed_steps() < config_.min_batch) return;
   DOSC_TRACE_SCOPE("online", "policy_refresh");
   const util::Timer timer;
-  const rl::Batch batch = buffer_.drain(policy_, policy_.config().obs_dim);
-  updater_.update(policy_, batch);
+  buffer_.drain_into(batch_scratch_, policy_, policy_.config().obs_dim);
+  updater_.update(policy_, batch_scratch_);
   const double us = timer.elapsed_micros();
   refresh_time_us_.add(us);
   if (telemetry::enabled()) {

@@ -66,6 +66,7 @@ class OnlineTrainingCoordinator final : public sim::Coordinator, public sim::Flo
   OnlineTrainerConfig config_;
   rl::Updater updater_;
   rl::TrajectoryBuffer buffer_;
+  rl::Batch batch_scratch_;  ///< drained into, reused across refreshes
   std::unique_ptr<RewardShaper> shaper_;
   ObservationBuilder obs_;
   util::Rng rng_;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "nn/parallel.hpp"
+#include "rl/async_trainer.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -70,6 +71,52 @@ class RewardTally final : public sim::FlowObserver {
   const sim::Simulator& sim_;
   double total_ = 0.0;
 };
+
+/// One seed's training in the decoupled async actor/learner mode: the
+/// simulator side of rl::AsyncTrainer. Episode g reuses the synchronous
+/// trainer's seed grid — iteration g / l, environment g % l — so async runs
+/// sample from the same traffic distribution, and the lockstep
+/// configuration (1 worker, max_staleness 0) replays the synchronous
+/// episode stream exactly.
+void run_async_seed(rl::ActorCritic& net, const TrainingConfig& config,
+                    const sim::Scenario& train_scenario, std::size_t max_degree,
+                    std::size_t obs_dim, std::size_t seed_index,
+                    const ProgressCallback& progress) {
+  rl::AsyncTrainerConfig async_config;
+  async_config.num_workers = config.async.num_workers;
+  async_config.episodes_per_update = config.parallel_envs;
+  async_config.updates = config.iterations;
+  async_config.max_update_steps = config.max_update_steps;
+  async_config.queue_capacity = config.async.queue_capacity;
+  async_config.max_staleness = config.async.max_staleness;
+  async_config.learner_threads = config.async.learner_threads;
+  async_config.obs_dim = obs_dim;
+  async_config.gamma = config.gamma;
+  async_config.updater = config.updater;
+  async_config.merge_seed = [&config, seed_index](std::size_t update) {
+    return episode_seed(config.seed_base, seed_index, update, 777);
+  };
+  rl::RolloutFn rollout = [&config, &train_scenario, max_degree, seed_index](
+                              std::size_t /*worker*/, std::size_t episode,
+                              const rl::ActorCritic& policy, rl::TrajectoryBuffer& buffer) {
+    const std::size_t iteration = episode / config.parallel_envs;
+    const std::size_t env_index = episode % config.parallel_envs;
+    const std::uint64_t es = episode_seed(config.seed_base, seed_index, iteration, env_index);
+    TrainingEnv env(policy, buffer, config.reward, max_degree, util::Rng(es * 31 + 7),
+                    config.observation_mask, /*record_behavior_logp=*/true);
+    sim::Simulator sim(train_scenario, es);
+    sim.run(env, &env);
+    return env.episode_reward();
+  };
+  rl::AsyncTrainer trainer(async_config, std::move(rollout));
+  rl::AsyncProgressFn on_progress;
+  if (progress) {
+    on_progress = [&progress, seed_index](const rl::AsyncProgress& p) {
+      progress({seed_index, p.update, p.mean_episode_reward, p.stats});
+    };
+  }
+  trainer.run(net, on_progress);
+}
 
 }  // namespace
 
@@ -170,7 +217,16 @@ TrainedPolicy train_distributed_policy(const sim::Scenario& scenario,
     rl::ActorCritic net(net_config);
     rl::Updater updater(config.updater);
 
-    for (std::size_t iteration = 0; iteration < config.iterations; ++iteration) {
+    if (config.async.enabled) {
+      // Decoupled actor/learner: persistent rollout workers and a learner
+      // thread replace the per-iteration fork/join loop below (which the
+      // sync_iterations guard then skips). Evaluation and seed selection
+      // are shared by both modes.
+      run_async_seed(net, config, train_scenario, max_degree, obs_dim, seed_index,
+                     progress);
+    }
+    const std::size_t sync_iterations = config.async.enabled ? 0 : config.iterations;
+    for (std::size_t iteration = 0; iteration < sync_iterations; ++iteration) {
       // A3C-style: l workers roll out the *same* policy snapshot in
       // parallel; their experience is merged into one synchronous update.
       const std::vector<double> snapshot = net.get_parameters();
@@ -236,45 +292,11 @@ TrainedPolicy train_distributed_policy(const sim::Scenario& scenario,
 
       // Merge worker batches; cap the update size with a uniform subsample
       // so one update's cost stays bounded regardless of episode length.
-      std::size_t total = 0;
-      for (const rl::Batch& b : batches) total += b.size();
-      const std::size_t keep = std::min(total, config.max_update_steps);
+      // (rl::merge_batches_into is this trainer's historical inline merge,
+      // hoisted so the async learner shares it bit for bit.)
       util::Rng sample_rng(episode_seed(config.seed_base, seed_index, iteration, 777));
-      // Pick the kept (batch, row) pairs first, then copy exactly once.
-      std::vector<std::pair<std::size_t, std::size_t>> picks;
-      picks.reserve(keep);
-      if (keep == total) {
-        for (std::size_t bi = 0; bi < batches.size(); ++bi) {
-          for (std::size_t i = 0; i < batches[bi].size(); ++i) picks.emplace_back(bi, i);
-        }
-      } else {
-        // Reservoir sampling over the concatenated steps.
-        std::size_t seen = 0;
-        for (std::size_t bi = 0; bi < batches.size(); ++bi) {
-          for (std::size_t i = 0; i < batches[bi].size(); ++i) {
-            if (picks.size() < keep) {
-              picks.emplace_back(bi, i);
-            } else {
-              const std::size_t j =
-                  static_cast<std::size_t>(sample_rng.uniform_int(0, static_cast<std::int64_t>(seen)));
-              if (j < keep) picks[j] = {bi, i};
-            }
-            ++seen;
-          }
-        }
-      }
       rl::Batch merged;
-      merged.obs = nn::Matrix(picks.size(), obs_dim);
-      merged.actions.reserve(picks.size());
-      merged.returns.reserve(picks.size());
-      for (std::size_t row = 0; row < picks.size(); ++row) {
-        const auto [bi, i] = picks[row];
-        const rl::Batch& b = batches[bi];
-        std::copy(b.obs.data() + i * obs_dim, b.obs.data() + (i + 1) * obs_dim,
-                  merged.obs.data() + row * obs_dim);
-        merged.actions.push_back(b.actions[i]);
-        merged.returns.push_back(b.returns[i]);
-      }
+      rl::merge_batches_into(merged, batches, obs_dim, config.max_update_steps, sample_rng);
 
       rl::UpdateStats stats;
       {

@@ -19,6 +19,23 @@
 
 namespace dosc::core {
 
+/// Knobs for the decoupled async actor/learner mode (rl::AsyncTrainer).
+/// With `enabled`, each seed trains with `num_workers` persistent rollout
+/// workers feeding a learner thread through lock-free queues instead of the
+/// barrier-synchronised iteration loop; `iterations` becomes the learner
+/// update count and `parallel_envs` the episodes merged per update. The
+/// configuration num_workers = 1, max_staleness = 0 is bit-identical to the
+/// synchronous trainer.
+struct AsyncTrainingConfig {
+  bool enabled = false;
+  std::size_t num_workers = 2;
+  std::size_t queue_capacity = 8;   ///< per-worker trajectory queue depth
+  std::size_t max_staleness = 1;    ///< pacing bound K (0 = lockstep)
+  /// Learner GEMM threads; 0 = hardware threads minus workers (>= 1). See
+  /// rl::resolve_thread_budget for the oversubscription guard.
+  std::size_t learner_threads = 0;
+};
+
 struct TrainingConfig {
   rl::UpdaterConfig updater;            ///< ACKTR with the paper's hyperparameters
   std::vector<std::size_t> hidden{64, 64};
@@ -39,6 +56,7 @@ struct TrainingConfig {
   std::size_t eval_parallel = 1;
   std::uint64_t seed_base = 1;
   bool verbose = false;
+  AsyncTrainingConfig async;       ///< decoupled actor/learner mode
 
   /// The paper's full-scale settings (Sec. V-A2): 2x256 hidden units,
   /// k = 10 seeds, l = 4 environments. Training time grows accordingly.

@@ -30,7 +30,10 @@ std::size_t compute_threads() noexcept;
 
 /// RAII budget override; restores the previous value on destruction. Used by
 /// the trainer to keep rollout workers + compute threads within the machine
-/// and by benchmarks to sweep thread counts.
+/// and by benchmarks to sweep thread counts. The async trainer holds one for
+/// its whole run with the budget from rl::resolve_thread_budget, so its
+/// rollout workers and the learner's GEMMs partition the machine instead of
+/// oversubscribing it.
 class ComputeThreadsGuard {
  public:
   explicit ComputeThreadsGuard(std::size_t n) : previous_(compute_threads()) {

@@ -86,6 +86,11 @@ const std::vector<double>& ActorCritic::action_probs(std::span<const double> obs
 }
 
 int ActorCritic::sample_action(std::span<const double> obs, util::Rng& rng) const {
+  return sample_action(obs, rng, nullptr);
+}
+
+int ActorCritic::sample_action(std::span<const double> obs, util::Rng& rng,
+                               double* logp) const {
   actor_.predict_row(obs, t_logits, t_scratch);
   softmax_into(t_logits, t_probs);
   // Inline CDF walk over the softmax scratch, replicating
@@ -95,15 +100,25 @@ int ActorCritic::sample_action(std::span<const double> obs, util::Rng& rng) cons
   // downstream random stream — stays bit-identical to the vector version.
   double total = 0.0;
   for (const double p : t_probs) total += p;
+  int action;
   if (total <= 0.0 || t_probs.empty()) {
-    return t_probs.empty() ? 0 : static_cast<int>(t_probs.size()) - 1;
+    action = t_probs.empty() ? 0 : static_cast<int>(t_probs.size()) - 1;
+  } else {
+    action = static_cast<int>(t_probs.size()) - 1;
+    double u = rng.uniform(0.0, total);
+    for (std::size_t i = 0; i < t_probs.size(); ++i) {
+      u -= t_probs[i];
+      if (u <= 0.0) {
+        action = static_cast<int>(i);
+        break;
+      }
+    }
   }
-  double u = rng.uniform(0.0, total);
-  for (std::size_t i = 0; i < t_probs.size(); ++i) {
-    u -= t_probs[i];
-    if (u <= 0.0) return static_cast<int>(i);
+  if (logp != nullptr) {
+    const double p = t_probs.empty() ? 1.0 : t_probs[static_cast<std::size_t>(action)];
+    *logp = std::log(std::max(p, 1e-300));
   }
-  return static_cast<int>(t_probs.size()) - 1;
+  return action;
 }
 
 int ActorCritic::greedy_action(std::span<const double> obs) const {

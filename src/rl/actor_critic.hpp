@@ -52,6 +52,11 @@ class ActorCritic {
   /// exactly like util::Rng::categorical, so sampling streams are
   /// bit-identical to the allocating version.
   int sample_action(std::span<const double> obs, util::Rng& rng) const;
+  /// As sample_action, additionally writing log pi(action|obs) — the
+  /// behavior log-probability off-policy-tolerant training records per
+  /// step. Pure extra arithmetic on the softmax scratch: the rng stream
+  /// and the returned action are bit-identical to sample_action.
+  int sample_action(std::span<const double> obs, util::Rng& rng, double* logp) const;
   int greedy_action(std::span<const double> obs) const;
   double value(std::span<const double> obs) const;
 

@@ -1,0 +1,100 @@
+// Bounded lock-free single-producer/single-consumer queue.
+//
+// The async trainer's trajectory pipe: each rollout worker owns the
+// producer side of one queue, the learner owns the consumer side of all of
+// them. Classic Lamport ring with two refinements that matter at the
+// chunk rates the trainer runs at:
+//
+//   * head and tail live on separate cache lines, so the producer's store
+//     stream never invalidates the consumer's line and vice versa;
+//   * each side keeps a cached copy of the other side's index and refreshes
+//     it only when the queue looks full (producer) or empty (consumer), so
+//     the steady-state fast path touches a single shared atomic, not two.
+//
+// Elements move through the ring: try_push moves from its argument on
+// success, try_pop moves into its argument. A recycling pattern (consumer
+// sends drained elements back through a second queue) therefore keeps all
+// heap buffers cycling between the two threads without a single allocation
+// after warm-up.
+//
+// Thread contract: exactly one producer thread calls try_push/full, exactly
+// one consumer thread calls try_pop/empty. size_approx is safe from
+// anywhere. Capacity is rounded up to a power of two; the ring holds
+// exactly `capacity()` elements (one slot is never wasted because indices
+// are monotone counters, not wrapped pointers).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dosc::util {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t min_capacity) : slots_(round_up_pow2(min_capacity)) {
+    mask_ = slots_.size() - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side. Moves from `item` and returns true when a slot is
+  /// free; leaves `item` untouched and returns false when the ring is full.
+  bool try_push(T& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_push(T&& item) { return try_push(item); }
+
+  /// Consumer side. Moves the oldest element into `out` and returns true;
+  /// returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate (exact when only one side is moving); safe from any
+  /// thread. Used for the train.async.queue_depth gauge.
+  std::size_t size_approx() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer-owned
+  alignas(64) std::size_t tail_cache_ = 0;        ///< consumer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer-owned
+  alignas(64) std::size_t head_cache_ = 0;        ///< producer's view of head_
+};
+
+}  // namespace dosc::util

@@ -1,0 +1,108 @@
+// util::SpscQueue: single-producer single-consumer bounded ring. Unit tests
+// pin the bounded-FIFO contract (order, capacity, failed-push leaves the
+// value intact, move-only payloads); the two-thread stress is the TSan
+// workload for the lock-free index protocol.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/spsc_queue.hpp"
+
+using dosc::util::SpscQueue;
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscQueue<int>(9).capacity(), 16u);
+  EXPECT_EQ(SpscQueue<int>(0).capacity(), 2u);
+}
+
+TEST(SpscQueue, FifoOrderAndEmptyPop) {
+  SpscQueue<int> queue(4);
+  int out = -1;
+  EXPECT_FALSE(queue.try_pop(out));
+  EXPECT_TRUE(queue.empty_approx());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.try_push(int{i}));
+  EXPECT_EQ(queue.size_approx(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(SpscQueue, FullQueueRejectsPushAndKeepsValueIntact) {
+  SpscQueue<std::string> queue(2);
+  std::string a = "first";
+  std::string b = "second";
+  std::string c = "third";
+  EXPECT_TRUE(queue.try_push(a));
+  EXPECT_TRUE(queue.try_push(b));
+  // Failed push must not consume the value — the caller retries with it.
+  EXPECT_FALSE(queue.try_push(c));
+  EXPECT_EQ(c, "third");
+  std::string out;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, "first");
+  EXPECT_TRUE(queue.try_push(c));
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, "second");
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, "third");
+}
+
+TEST(SpscQueue, MoveOnlyPayload) {
+  SpscQueue<std::unique_ptr<int>> queue(2);
+  EXPECT_TRUE(queue.try_push(std::make_unique<int>(5)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(queue.try_pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 5);
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  SpscQueue<std::uint64_t> queue(4);
+  std::uint64_t expected = 0;
+  std::uint64_t next = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (queue.try_push(std::uint64_t{next})) ++next;
+    std::uint64_t out = 0;
+    while (queue.try_pop(out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(expected, next);
+  EXPECT_GT(next, 1000u);
+}
+
+TEST(SpscQueue, TwoThreadStressPreservesOrderAndLosesNothing) {
+  // The concurrency workload: one producer, one consumer, a small ring so
+  // both full and empty edges are exercised constantly. Run under TSan in
+  // CI; single-threaded machines still interleave via preemption.
+  constexpr std::uint64_t kItems = 200000;
+  SpscQueue<std::uint64_t> queue(8);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!queue.try_push(std::uint64_t{i})) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kItems) {
+    std::uint64_t out = 0;
+    if (queue.try_pop(out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(queue.empty_approx());
+}

@@ -1,0 +1,214 @@
+// Allocation accounting for the training hot path.
+//
+// The async-trainer contract: once a rollout worker's pools have warmed —
+// the pooled TrajectoryBuffer's slot/step/observation storage, the
+// open-addressing flow index, the drain target batch — recording a decision
+// or crediting a reward performs NO heap allocation, and neither does a
+// steady-shape drain. This binary replaces global operator new/delete with
+// counting versions and pins the contract twice: synthetically on the bare
+// TrajectoryBuffer (episode 2 of an identical recording pattern must be
+// allocation-free end to end), and through a real simulator episode driven
+// by TrainingEnv (an exact replay of a warmed episode must be
+// allocation-free inside every decide() and reward event).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/drl_env.hpp"
+#include "rl/rollout.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+void* counted_alloc(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace dosc {
+namespace {
+
+rl::ActorCritic make_policy(const sim::Scenario& scenario) {
+  rl::ActorCriticConfig config;
+  config.obs_dim = core::observation_dim(scenario.network().max_degree());
+  config.num_actions = scenario.network().max_degree() + 1;
+  config.hidden = {32, 32};
+  config.seed = 5;
+  return rl::ActorCritic(config);
+}
+
+TEST(TrainAlloc, CountingAllocatorSeesAllocations) {
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  volatile std::size_t n = 4096;
+  double* p = new double[n];
+  delete[] p;
+  EXPECT_GT(g_news.load(std::memory_order_relaxed), before);
+}
+
+TEST(TrainAlloc, PooledBufferEpisodeLoopIsAllocationFreeOnceWarm) {
+  rl::ActorCriticConfig net_config;
+  net_config.obs_dim = 6;
+  net_config.num_actions = 3;
+  net_config.hidden = {8};
+  net_config.seed = 2;
+  const rl::ActorCritic net(net_config);
+  rl::TrajectoryBuffer buffer(0.95);
+  rl::Batch batch;
+  std::vector<double> obs(6, 0.25);
+
+  // One "episode": 32 interleaved flows, 4 decisions each with rewards,
+  // half finished terminally and half truncated, then a drain.
+  const auto run_episode = [&] {
+    for (int step = 0; step < 4; ++step) {
+      for (std::uint64_t flow = 0; flow < 32; ++flow) {
+        obs[0] = static_cast<double>(step) * 0.1;
+        buffer.record_decision(flow, obs, step % 3, -0.5);
+        buffer.record_reward(flow, 0.25);
+      }
+    }
+    for (std::uint64_t flow = 0; flow < 32; flow += 2) buffer.finish(flow);
+    buffer.truncate_all();
+    buffer.drain_into(batch, net, 6, /*with_behavior_logp=*/true);
+  };
+
+  run_episode();  // warm every pool, table, scratch, and the batch target
+  ASSERT_EQ(batch.size(), 128u);
+
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  run_episode();
+  const std::uint64_t steady = g_news.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(steady, 0u);
+  EXPECT_EQ(batch.size(), 128u);
+}
+
+/// Forwards decide() to a TrainingEnv, counting allocations made inside.
+class AllocCountingCoordinator final : public sim::Coordinator {
+ public:
+  explicit AllocCountingCoordinator(core::TrainingEnv& inner) : inner_(inner) {}
+
+  int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override {
+    const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+    const int action = inner_.decide(sim, flow, node);
+    allocs_ += g_news.load(std::memory_order_relaxed) - before;
+    ++calls_;
+    return action;
+  }
+  void on_episode_start(const sim::Simulator& sim) override { inner_.on_episode_start(sim); }
+
+  std::uint64_t allocs() const noexcept { return allocs_; }
+  std::uint64_t calls() const noexcept { return calls_; }
+
+ private:
+  core::TrainingEnv& inner_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t allocs_ = 0;
+};
+
+/// Forwards flow events to a TrainingEnv, counting allocations made inside
+/// the reward-crediting path.
+class AllocCountingObserver final : public sim::FlowObserver {
+ public:
+  explicit AllocCountingObserver(core::TrainingEnv& inner) : inner_(inner) {}
+
+  void on_completed(const sim::Flow& flow, double t) override {
+    count([&] { inner_.on_completed(flow, t); });
+  }
+  void on_dropped(const sim::Flow& flow, sim::DropReason r, double t) override {
+    count([&] { inner_.on_dropped(flow, r, t); });
+  }
+  void on_component_processed(const sim::Flow& flow, net::NodeId n, double t) override {
+    count([&] { inner_.on_component_processed(flow, n, t); });
+  }
+  void on_forwarded(const sim::Flow& flow, net::NodeId n, net::LinkId l, double t) override {
+    count([&] { inner_.on_forwarded(flow, n, l, t); });
+  }
+  void on_parked(const sim::Flow& flow, net::NodeId n, double t) override {
+    count([&] { inner_.on_parked(flow, n, t); });
+  }
+
+  std::uint64_t allocs() const noexcept { return allocs_; }
+
+ private:
+  template <typename Fn>
+  void count(Fn&& fn) {
+    const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+    fn();
+    allocs_ += g_news.load(std::memory_order_relaxed) - before;
+  }
+
+  core::TrainingEnv& inner_;
+  std::uint64_t allocs_ = 0;
+};
+
+TEST(TrainAlloc, WorkerEpisodeReplayIsAllocationFreeInsideDecideAndEvents) {
+  // Episode 2 is an exact replay of episode 1 (same policy parameters, same
+  // env rng seed, same simulator seed). reserve() pre-sizes every slot to
+  // the same shape — necessary because drain releases slots in completion
+  // order while acquisition pops the free list LIFO, so the replay pairs
+  // each flow with a *different* recycled slot; organic warming only sizes
+  // each slot for the flows it happened to host. With uniform pools the
+  // per-step path must not allocate at all. (The episode has ~131 flows,
+  // <= 27 decisions each; the bounds below leave ~2x headroom.)
+  const sim::Scenario scenario = sim::make_base_scenario(2).with_end_time(600.0);
+  const std::size_t max_degree = scenario.network().max_degree();
+  const rl::ActorCritic policy = make_policy(scenario);
+  rl::TrajectoryBuffer buffer(0.99);
+  buffer.reserve(/*max_flows=*/256, /*max_steps_per_flow=*/32,
+                 core::observation_dim(max_degree));
+  rl::Batch batch;
+
+  const auto run_episode = [&](std::uint64_t* decide_allocs, std::uint64_t* event_allocs,
+                               std::uint64_t* calls) {
+    core::TrainingEnv env(policy, buffer, core::RewardConfig{}, max_degree, util::Rng(7),
+                          {}, /*record_behavior_logp=*/true);
+    AllocCountingCoordinator coordinator(env);
+    AllocCountingObserver observer(env);
+    sim::Simulator sim(scenario, /*seed=*/17);
+    sim.run(coordinator, &observer);
+    buffer.truncate_all();
+    buffer.drain_into(batch, policy, policy.config().obs_dim, /*with_behavior_logp=*/true);
+    if (decide_allocs != nullptr) *decide_allocs = coordinator.allocs();
+    if (event_allocs != nullptr) *event_allocs = observer.allocs();
+    if (calls != nullptr) *calls = coordinator.calls();
+  };
+
+  run_episode(nullptr, nullptr, nullptr);  // warm
+
+  std::uint64_t decide_allocs = 0;
+  std::uint64_t event_allocs = 0;
+  std::uint64_t calls = 0;
+  run_episode(&decide_allocs, &event_allocs, &calls);
+  EXPECT_EQ(decide_allocs, 0u);
+  EXPECT_EQ(event_allocs, 0u);
+  EXPECT_GT(calls, 50u) << "scenario too short to exercise steady state";
+  EXPECT_GT(batch.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dosc
