@@ -31,6 +31,9 @@ void InvariantAuditor::on_episode_start(const sim::Simulator& sim) {
   last_time_ = 0.0;
   last_seq_ = 0;
   saw_event_ = false;
+  const std::size_t state_cells = sim.network().num_nodes() + sim.network().num_links();
+  sampled_ = state_cells > options_.full_sweep_cells ||
+             instances_.size() > options_.full_sweep_cells;
 }
 
 void InvariantAuditor::check_capacities(const sim::Simulator& sim, double time) {
@@ -71,7 +74,7 @@ void InvariantAuditor::check_conservation(const sim::Simulator& sim, double time
 }
 
 void InvariantAuditor::diff_instances(const sim::Simulator& sim, const sim::SimEvent* cause,
-                                      double now) {
+                                      double now, bool attribute) {
   const std::size_t num_nodes = sim.network().num_nodes();
   for (net::NodeId v = 0; v < num_nodes; ++v) {
     for (sim::ComponentId c = 0; c < num_components_; ++c) {
@@ -81,7 +84,10 @@ void InvariantAuditor::diff_instances(const sim::Simulator& sim, const sim::SimE
       const std::string slot =
           "instance (node " + std::to_string(v) + ", comp " + std::to_string(c) + ")";
 
-      if (cur.exists && !prev.exists) {
+      if (!attribute) {
+        // Sampled mode: several events fired since the previous snapshot,
+        // so changes cannot be pinned on one cause — refresh only.
+      } else if (cur.exists && !prev.exists) {
         // Creation: only a flow decision (processing locally) places an
         // instance, paying the startup delay, and immediately pins it.
         if (cause == nullptr) {
@@ -124,7 +130,7 @@ void InvariantAuditor::diff_instances(const sim::Simulator& sim, const sim::SimE
         }
       }
 
-      const double change_time = (cause != nullptr) ? cause->time : 0.0;
+      const double change_time = attribute ? ((cause != nullptr) ? cause->time : 0.0) : now;
       const bool became_idle =
           cur.active == 0 && (prev.active > 0 || (cur.exists && !prev.exists));
       prev.exists = cur.exists;
@@ -151,9 +157,16 @@ void InvariantAuditor::on_event(const sim::Simulator& sim, const sim::SimEvent& 
   }
 
   // Instance changes made by the previous event, now that its handling is
-  // complete; then the global state invariants on the settled state.
-  diff_instances(sim, saw_event_ ? &last_event_ : nullptr, event.time);
-  check_capacities(sim, event.time);
+  // complete; then the global state invariants on the settled state. In
+  // sampled mode (large scenarios) the two full-state sweeps run every
+  // sample_stride events; conservation is O(1) and always runs.
+  if (!sampled_) {
+    diff_instances(sim, saw_event_ ? &last_event_ : nullptr, event.time, /*attribute=*/true);
+    check_capacities(sim, event.time);
+  } else if (events_audited_ % options_.sample_stride == 0) {
+    diff_instances(sim, nullptr, event.time, /*attribute=*/false);
+    check_capacities(sim, event.time);
+  }
   check_conservation(sim, event.time);
 
   switch (event.kind) {
@@ -224,7 +237,7 @@ void InvariantAuditor::on_event(const sim::Simulator& sim, const sim::SimEvent& 
 
 void InvariantAuditor::on_episode_end(const sim::Simulator& sim) {
   const double now = last_time_;
-  diff_instances(sim, saw_event_ ? &last_event_ : nullptr, now);
+  diff_instances(sim, saw_event_ ? &last_event_ : nullptr, now, /*attribute=*/!sampled_);
 
   // The queue drained, so every hold was released and every flow settled.
   check_conservation(sim, now);
@@ -338,6 +351,7 @@ std::string InvariantAuditor::report() const {
   if (ok()) {
     out << "audit ok: " << events_audited_ << " events, " << completions_seen_
         << " completions, " << drops_seen_ << " drops";
+    if (sampled_) out << " (sampled sweeps)";
     return out.str();
   }
   out << total_violations_ << " invariant violation(s) over " << events_audited_ << " events";

@@ -29,6 +29,18 @@
 // collected, not thrown — inspect ok() / violations() / report() after the
 // run. The per-event cost is O(V + E + V*C); this is a validation tool, not
 // a production-path feature.
+//
+// Sampled mode (large scenarios): the full-state sweeps — the O(V+E)
+// capacity scan and the O(V*C) instance-lifecycle diff — dominate on
+// 100-1000-node corpus topologies, so once V+E or V*C exceeds
+// AuditorOptions::full_sweep_cells they run every `sample_stride` events
+// instead of every event, and instance-change *cause attribution* is
+// disabled (between samples many events fire, so a change can no longer be
+// pinned on one event). Everything O(1)-per-event keeps running unsampled:
+// event ordering, flow conservation, the flow-local arrival/processing/
+// expiry checks, the delay decomposition, deadline timing, and the full
+// episode-end reconciliation (drained queue, zero usage, empty instance
+// table, SimMetrics match).
 #pragma once
 
 #include <cstdint>
@@ -48,6 +60,11 @@ struct AuditorOptions {
   double eps = 1e-6;
   /// At most this many violation messages are kept (all are counted).
   std::size_t max_recorded = 32;
+  /// Full-state sweeps run per event only while V+E and V*C are at or
+  /// below this; larger scenarios degrade to sampled mode (see above).
+  std::size_t full_sweep_cells = 4096;
+  /// Sampled mode: full-state sweep period in events.
+  std::size_t sample_stride = 64;
 };
 
 class InvariantAuditor final : public sim::AuditHook, public sim::FlowObserver {
@@ -73,6 +90,9 @@ class InvariantAuditor final : public sim::AuditHook, public sim::FlowObserver {
 
   // --- results ---
   bool ok() const noexcept { return total_violations_ == 0; }
+  /// True when the attached scenario is big enough that the full-state
+  /// sweeps are stride-sampled (set at episode start).
+  bool sampled_mode() const noexcept { return sampled_; }
   std::uint64_t total_violations() const noexcept { return total_violations_; }
   const std::vector<std::string>& violations() const noexcept { return violations_; }
   std::uint64_t events_audited() const noexcept { return events_audited_; }
@@ -100,8 +120,11 @@ class InvariantAuditor final : public sim::AuditHook, public sim::FlowObserver {
   void check_capacities(const sim::Simulator& sim, double time);
   void check_conservation(const sim::Simulator& sim, double time);
   /// Attribute instance-state deltas since the previous snapshot to the
-  /// event dispatched between the snapshots (`cause`).
-  void diff_instances(const sim::Simulator& sim, const sim::SimEvent* cause, double now);
+  /// event dispatched between the snapshots (`cause`). With attribute ==
+  /// false (sampled mode) the snapshots are refreshed without blaming any
+  /// single event for the changes.
+  void diff_instances(const sim::Simulator& sim, const sim::SimEvent* cause, double now,
+                      bool attribute);
 
   AuditorOptions options_;
   const sim::Simulator* sim_ = nullptr;
@@ -115,6 +138,7 @@ class InvariantAuditor final : public sim::AuditHook, public sim::FlowObserver {
   double last_time_ = 0.0;
   std::uint64_t last_seq_ = 0;
   bool saw_event_ = false;
+  bool sampled_ = false;
   sim::SimEvent last_event_{};
 
   std::unordered_map<sim::FlowId, FlowTrack> tracks_;

@@ -29,11 +29,31 @@ net::Network fuzz_network(util::Rng& rng, const FuzzBounds& b, std::uint64_t see
         static_cast<net::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(v) - 1));
     builder.add_link(parent, v, rng.uniform(b.link_delay_lo, b.link_delay_hi), 0.0);
   }
-  for (net::NodeId a = 0; a < n; ++a) {
-    for (net::NodeId c = a + 1; c < n; ++c) {
-      if (!builder.has_link(a, c) && rng.bernoulli(b.extra_edge_prob)) {
-        builder.add_link(a, c, rng.uniform(b.link_delay_lo, b.link_delay_hi), 0.0);
+  if (n <= FuzzBounds::kPairwiseNodeLimit) {
+    for (net::NodeId a = 0; a < n; ++a) {
+      for (net::NodeId c = a + 1; c < n; ++c) {
+        if (!builder.has_link(a, c) && rng.bernoulli(b.extra_edge_prob)) {
+          builder.add_link(a, c, rng.uniform(b.link_delay_lo, b.link_delay_hi), 0.0);
+        }
       }
+    }
+  } else {
+    // Beyond the pairwise limit the per-pair Bernoulli sweep is O(n^2);
+    // draw the expected number of extra edges directly instead (sparse
+    // target: ~extra_edge_prob * n extras, matching the spanning tree's
+    // O(n) edge count rather than a dense n^2/2 blow-up).
+    const std::size_t extras =
+        static_cast<std::size_t>(b.extra_edge_prob * static_cast<double>(n));
+    std::size_t added = 0;
+    for (std::size_t attempt = 0; attempt < 4 * extras && added < extras; ++attempt) {
+      const auto a = static_cast<net::NodeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const auto c = static_cast<net::NodeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (a == c || builder.has_link(a, c)) continue;
+      builder.add_link(std::min(a, c), std::max(a, c),
+                       rng.uniform(b.link_delay_lo, b.link_delay_hi), 0.0);
+      ++added;
     }
   }
   return std::move(builder).build();

@@ -23,10 +23,18 @@
 namespace dosc::check {
 
 struct FuzzBounds {
+  /// Above this node count the per-pair extra-edge sweep (O(n^2) Bernoulli
+  /// draws) switches to drawing ~extra_edge_prob * n random extra edges
+  /// directly (O(n)). Scenarios at or below the limit are byte-identical
+  /// to the historical generator for any given seed.
+  static constexpr std::size_t kPairwiseNodeLimit = 100;
+
   // Topology.
   std::size_t min_nodes = 4;
   std::size_t max_nodes = 12;
-  double extra_edge_prob = 0.25;  ///< per node pair beyond the spanning tree
+  /// Per node pair beyond the spanning tree (below kPairwiseNodeLimit);
+  /// above it, the expected extras per node.
+  double extra_edge_prob = 0.25;
   double link_delay_lo = 1.0;
   double link_delay_hi = 7.0;
   // Component catalog.

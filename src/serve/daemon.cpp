@@ -43,9 +43,7 @@ core::TrainedPolicy make_untrained_policy(const sim::Scenario& scenario, std::si
 }
 
 int run_daemon(const DaemonOptions& options) {
-  const sim::ScenarioConfig scenario_config =
-      sim::ScenarioConfig::from_json(util::Json::load_file(options.scenario_path));
-  const sim::Scenario scenario(scenario_config, sim::make_video_streaming_catalog());
+  const sim::Scenario scenario = sim::load_scenario(options.scenario_path);
   core::TrainedPolicy policy = core::load_policy(options.policy_path);
 
   UdpServer server(scenario, policy, options.server);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "net/topology_io.hpp"
 #include "net/topology_zoo.hpp"
 
 namespace dosc::sim {
@@ -107,6 +108,32 @@ Scenario::Scenario(ScenarioConfig config, ServiceCatalog catalog, net::Network n
       network_(std::make_unique<net::Network>(std::move(network))),
       shortest_paths_(std::make_unique<net::ShortestPaths>(*network_)) {
   validate();
+}
+
+util::Json Scenario::to_json() const {
+  util::Json doc = config_.to_json();
+  util::Json::Object& o = doc.as_object();
+  o["network"] = net::to_json(*network_);
+  o["catalog"] = catalog_.to_json();
+  return doc;
+}
+
+Scenario Scenario::from_json(const util::Json& json) {
+  ScenarioConfig config = ScenarioConfig::from_json(json);
+  ServiceCatalog catalog = json.contains("catalog")
+                               ? ServiceCatalog::from_json(json.at("catalog"))
+                               : make_video_streaming_catalog();
+  if (json.contains("network")) {
+    return Scenario(std::move(config), std::move(catalog),
+                    net::network_from_json(json.at("network")));
+  }
+  return Scenario(std::move(config), std::move(catalog));
+}
+
+void Scenario::save(const std::string& path) const { to_json().save_file(path); }
+
+Scenario load_scenario(const std::string& path) {
+  return Scenario::from_json(util::Json::load_file(path));
 }
 
 Scenario Scenario::with_end_time(double end_time) const {

@@ -84,6 +84,19 @@ class Scenario {
   /// (training episodes are shorter than the 20000 ms evaluation episodes).
   Scenario with_end_time(double end_time) const;
 
+  /// Self-contained scenario document: the config plus the embedded
+  /// topology ("network") and service catalog ("catalog"), so generated
+  /// scenarios (corpus entries) round-trip without relying on a named
+  /// Table-I topology or the default video-streaming catalog.
+  util::Json to_json() const;
+  /// Parse either a full scenario document or a bare ScenarioConfig: when
+  /// "network" is absent the config's named topology is used, and when
+  /// "catalog" is absent the paper's video-streaming catalog is assumed
+  /// (backwards compatible with the hand-written scenarios/*.json files).
+  static Scenario from_json(const util::Json& json);
+
+  void save(const std::string& path) const;
+
  private:
   void validate() const;
 
@@ -101,5 +114,10 @@ Scenario make_base_scenario(std::size_t num_ingress = 2,
                             traffic::TrafficSpec traffic = traffic::TrafficSpec::poisson(10.0),
                             double deadline = 100.0, const std::string& topology = "abilene",
                             double end_time = 20000.0);
+
+/// Load a scenario JSON file (full document or bare config; see
+/// Scenario::from_json). The single entry point the CLI, the serving
+/// daemon, and the benches share.
+Scenario load_scenario(const std::string& path);
 
 }  // namespace dosc::sim

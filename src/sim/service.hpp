@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace dosc::sim {
 
 using ServiceId = std::uint32_t;
@@ -50,6 +52,12 @@ class ServiceCatalog {
   const Service& service(ServiceId s) const { return services_.at(s); }
   std::size_t num_components() const noexcept { return components_.size(); }
   std::size_t num_services() const noexcept { return services_.size(); }
+
+  /// Longest service chain in the catalog (0 when empty).
+  std::size_t max_chain_length() const noexcept;
+
+  util::Json to_json() const;
+  static ServiceCatalog from_json(const util::Json& json);
 
  private:
   std::vector<Component> components_;

@@ -58,6 +58,16 @@ TrafficSpec TrafficSpec::diurnal_trace(std::uint64_t seed, double horizon,
   return s;
 }
 
+TrafficSpec TrafficSpec::flash_crowd(const FlashCrowdConfig& config) {
+  TrafficSpec s;
+  s.kind = ArrivalKind::kTrace;
+  s.trace_seed = config.seed;
+  s.trace_horizon = config.horizon;
+  s.mean_interarrival = config.base_interarrival;
+  s.trace = make_flash_crowd_trace(config);
+  return s;
+}
+
 util::Json TrafficSpec::to_json() const {
   util::Json::Object o;
   o["kind"] = util::Json(std::string(arrival_kind_name(kind)));

@@ -72,6 +72,9 @@ struct TrafficSpec {
   /// paper's real-world SNDlib traces; see DESIGN.md).
   static TrafficSpec diurnal_trace(std::uint64_t seed = 42, double horizon = 20000.0,
                                    double base_interarrival = 10.0);
+  /// Trace arrivals with seeded flash-crowd spikes on a steady baseline
+  /// (corpus load program; see make_flash_crowd_trace).
+  static TrafficSpec flash_crowd(const FlashCrowdConfig& config);
 };
 
 }  // namespace dosc::traffic

@@ -83,4 +83,51 @@ RateTrace make_diurnal_trace(const DiurnalTraceConfig& config) {
   return RateTrace(std::move(segments), config.horizon);
 }
 
+RateTrace make_flash_crowd_trace(const FlashCrowdConfig& config) {
+  if (config.segment_length <= 0.0 || config.horizon <= config.segment_length) {
+    throw std::invalid_argument("make_flash_crowd_trace: bad segment length / horizon");
+  }
+  if (config.crowd_intensity < 1.0 || config.crowd_duration <= 0.0 ||
+      config.ramp_fraction < 0.0 || config.ramp_fraction > 0.5) {
+    throw std::invalid_argument("make_flash_crowd_trace: bad crowd shape");
+  }
+  if (static_cast<double>(config.num_crowds) * config.crowd_duration >
+      0.5 * config.horizon) {
+    throw std::invalid_argument("make_flash_crowd_trace: crowds cover most of the horizon");
+  }
+  util::Rng rng(config.seed);
+  // Non-overlapping spike starts: partition the horizon into num_crowds
+  // equal windows and place one spike uniformly inside each, so a sorted,
+  // disjoint layout falls out deterministically without rejection loops.
+  std::vector<double> starts;
+  const double window = config.horizon / std::max<std::size_t>(1, config.num_crowds);
+  for (std::size_t i = 0; i < config.num_crowds; ++i) {
+    const double lo = static_cast<double>(i) * window;
+    const double slack = window - config.crowd_duration;
+    starts.push_back(lo + rng.uniform(0.0, std::max(slack, 0.0)));
+  }
+  std::vector<RateTrace::Segment> segments;
+  for (double t = 0.0; t < config.horizon; t += config.segment_length) {
+    const double phase = 2.0 * std::numbers::pi * t / config.horizon;
+    double load = 1.0 + config.diurnal_amplitude * std::sin(phase);
+    for (const double start : starts) {
+      const double into = t - start;
+      if (into < 0.0 || into >= config.crowd_duration) continue;
+      // Trapezoidal spike: ramp up, plateau at crowd_intensity, ramp down.
+      const double ramp = config.ramp_fraction * config.crowd_duration;
+      double shape = 1.0;
+      if (ramp > 0.0 && into < ramp) {
+        shape = into / ramp;
+      } else if (ramp > 0.0 && into > config.crowd_duration - ramp) {
+        shape = (config.crowd_duration - into) / ramp;
+      }
+      load *= 1.0 + (config.crowd_intensity - 1.0) * shape;
+    }
+    const double mean =
+        std::max(config.min_interarrival, config.base_interarrival / load);
+    segments.push_back({t, mean});
+  }
+  return RateTrace(std::move(segments), config.horizon);
+}
+
 }  // namespace dosc::traffic

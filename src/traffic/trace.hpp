@@ -62,4 +62,25 @@ struct DiurnalTraceConfig {
 /// base / (1 + amplitude * sin(2*pi*t/horizon)) with per-segment noise.
 RateTrace make_diurnal_trace(const DiurnalTraceConfig& config);
 
+/// Parameters for the flash-crowd trace: a baseline (optionally diurnal)
+/// rate with a few short, deep arrival-rate spikes at seeded times — the
+/// "everyone opens the app at once" load program the corpus scenarios use.
+struct FlashCrowdConfig {
+  double horizon = 20000.0;         ///< trace length / loop period (ms)
+  double segment_length = 250.0;    ///< rate update granularity
+  double base_interarrival = 10.0;  ///< mean inter-arrival off-crowd
+  double diurnal_amplitude = 0.0;   ///< optional underlying day profile
+  std::size_t num_crowds = 3;       ///< spikes per horizon
+  double crowd_duration = 1000.0;   ///< how long each spike lasts (ms)
+  double crowd_intensity = 6.0;     ///< rate multiplier at the spike peak
+  double ramp_fraction = 0.25;      ///< leading/trailing ramp share of a spike
+  double min_interarrival = 0.25;   ///< clamp to keep rates finite
+  std::uint64_t seed = 0;
+};
+
+/// Generate a flash-crowd trace: `num_crowds` seeded spikes where the
+/// arrival rate ramps up to `crowd_intensity` x the baseline and back down.
+/// Spike start times are drawn so spikes never overlap or touch t = 0.
+RateTrace make_flash_crowd_trace(const FlashCrowdConfig& config);
+
 }  // namespace dosc::traffic

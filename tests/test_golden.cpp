@@ -24,6 +24,7 @@
 #include "baselines/gcasp.hpp"
 #include "baselines/shortest_path.hpp"
 #include "check/auditor.hpp"
+#include "check/corpus.hpp"
 #include "check/digest.hpp"
 #include "core/drl_env.hpp"
 #include "core/observation.hpp"
@@ -199,6 +200,80 @@ TEST(Golden, FastPathMatchesLegacyDecisionStream) {
   // And both equal the pinned digest of Golden.DistributedDrlAbilene, so
   // the fast path is pinned transitively too.
   EXPECT_EQ(fast_run.digest, 0x4a23a9d2824a7557ULL);
+}
+
+// --- corpus goldens ---------------------------------------------------------
+//
+// Pinned episodes on small scenario-corpus entries (check/corpus.hpp) under
+// the shortest-path baseline. These pin the corpus *generators* end to end:
+// a change to the fat-tree wiring, the WAN geometry, a load program, or the
+// capacity/traffic assembly shifts the event stream and trips the digest.
+// SP is pure scalar code, so the pins hold on any x86-64 libstdc++ build.
+
+GoldenRun run_corpus_golden(const char* entry) {
+  const sim::Scenario scenario = CorpusGenerator::make(entry).with_end_time(kEpisodeTime);
+  baselines::ShortestPathCoordinator coordinator;
+  return run_audited(scenario, coordinator, entry);
+}
+
+TEST(GoldenCorpus, FatTreeK4Steady) {
+  const GoldenRun run = run_corpus_golden("ft_k4_steady");
+  EXPECT_EQ(run.metrics.generated, 608u);
+  EXPECT_EQ(run.metrics.succeeded, 608u);
+  EXPECT_EQ(run.metrics.dropped, 0u);
+  EXPECT_NEAR(run.metrics.e2e_delay.mean(), 21.25033145974195, 1e-9);
+  EXPECT_EQ(run.events, 14242u);
+  EXPECT_EQ(run.digest, 0x4dac3db4b8ecfff7ULL);
+}
+
+TEST(GoldenCorpus, FatTreeK4Diurnal) {
+  const GoldenRun run = run_corpus_golden("ft_k4_diurnal");
+  EXPECT_EQ(run.metrics.generated, 751u);
+  EXPECT_EQ(run.metrics.succeeded, 751u);
+  EXPECT_EQ(run.metrics.dropped, 0u);
+  EXPECT_NEAR(run.metrics.e2e_delay.mean(), 21.701854242513129, 1e-9);
+  EXPECT_EQ(run.events, 17546u);
+  EXPECT_EQ(run.digest, 0xaf1b5bda64846445ULL);
+}
+
+TEST(GoldenCorpus, FatTreeK4Chain8) {
+  const GoldenRun run = run_corpus_golden("ft_k4_chain8");
+  EXPECT_EQ(run.metrics.generated, 608u);
+  EXPECT_EQ(run.metrics.succeeded, 605u);
+  EXPECT_EQ(run.metrics.dropped, 3u);
+  EXPECT_NEAR(run.metrics.e2e_delay.mean(), 46.565325425094493, 1e-9);
+  EXPECT_EQ(run.events, 25308u);
+  EXPECT_EQ(run.digest, 0x40fa0263ed94a75cULL);
+}
+
+TEST(GoldenCorpus, Wan100Steady) {
+  const GoldenRun run = run_corpus_golden("wan_100_steady");
+  EXPECT_EQ(run.metrics.generated, 668u);
+  EXPECT_EQ(run.metrics.succeeded, 663u);
+  EXPECT_EQ(run.metrics.dropped, 5u);
+  EXPECT_NEAR(run.metrics.e2e_delay.mean(), 20.73378171918792, 1e-9);
+  EXPECT_EQ(run.events, 11637u);
+  EXPECT_EQ(run.digest, 0x7d9f4edfe2c841c2ULL);
+}
+
+TEST(GoldenCorpus, DigestIsComputeThreadInvariant) {
+  // Corpus episodes, like the Abilene goldens, must not depend on
+  // DOSC_THREADS — the stream is engine-deterministic.
+  const sim::Scenario scenario =
+      CorpusGenerator::make("ft_k4_steady").with_end_time(kEpisodeTime);
+  std::uint64_t digests[2] = {0, 0};
+  const std::size_t threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    nn::ComputeThreadsGuard guard(threads[i]);
+    sim::Simulator sim(scenario, kSeed);
+    EventDigest digest;
+    sim.set_audit_hook(&digest);
+    baselines::ShortestPathCoordinator coordinator;
+    sim.run(coordinator);
+    digests[i] = digest.digest();
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], 0x4dac3db4b8ecfff7ULL);  // same pin as FatTreeK4Steady
 }
 
 TEST(Golden, DigestIsComputeThreadInvariant) {
