@@ -1,0 +1,198 @@
+// Parallel simulator sweep: conservative PDES (sim/parallel.hpp) at
+// K in {1, 2, 4, 8} LPs on a k=8 fat-tree (208 nodes) and a 500-node WAN,
+// against the sequential engine on the same corpus entries.
+//
+// This benchmark doubles as the PDES exactness gate: for every (scenario,
+// K) point the sequential engine runs with a PartitionedEventDigest that
+// routes its event stream through the same partition, and the sweep
+// reports digests_match (every LP's event digest equals the sequential
+// events routed to its partition) and metrics_match (merged SimMetrics
+// bit-identical) — CI asserts both. Speedup is reported honestly against
+// the sequential wall time on the same machine: on a single-core container
+// it measures synchronization overhead, not speedup.
+//
+// Everything lands in BENCH_sim_parallel.json ("dosc.bench.v1").
+// DOSC_BENCH_SMOKE=1 (CI) shortens the horizon.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/shortest_path.hpp"
+#include "check/corpus.hpp"
+#include "check/digest.hpp"
+#include "sim/parallel.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+using namespace dosc;
+
+namespace {
+
+bool smoke() {
+  static const bool on = [] {
+    const char* env = std::getenv("DOSC_BENCH_SMOKE");
+    return env != nullptr && std::string_view(env) != "0";
+  }();
+  return on;
+}
+
+constexpr std::uint64_t kSeed = 424242;
+
+struct ParallelPoint {
+  std::string scenario;
+  std::uint32_t lps = 0;
+  std::size_t nodes = 0;
+  double lookahead_ms = 0.0;
+  std::size_t edge_cut = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t conflict_windows = 0;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  double seq_wall_ms = 0.0;
+  bool digests_match = false;
+  bool metrics_match = false;
+
+  double events_per_sec() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(events) / wall_ms : 0.0;
+  }
+  double remote_ratio() const {
+    return events > 0 ? static_cast<double>(transfers) / static_cast<double>(events) : 0.0;
+  }
+  double speedup() const { return wall_ms > 0.0 ? seq_wall_ms / wall_ms : 0.0; }
+};
+
+bool metrics_equal(const sim::SimMetrics& a, const sim::SimMetrics& b) {
+  if (a.generated != b.generated || a.succeeded != b.succeeded || a.dropped != b.dropped ||
+      a.drops_by_reason != b.drops_by_reason) {
+    return false;
+  }
+  return a.e2e_delay.count() == b.e2e_delay.count() && a.e2e_delay.mean() == b.e2e_delay.mean();
+}
+
+ParallelPoint run_point(const sim::Scenario& scenario, std::uint32_t lps, double seq_wall_ms,
+                        const sim::SimMetrics& seq_metrics) {
+  ParallelPoint point;
+  point.scenario = scenario.config().name;
+  point.lps = lps;
+  point.nodes = scenario.network().num_nodes();
+
+  sim::ParallelSimulator psim(scenario, kSeed, lps);
+
+  // Sequential reference digest, routed through this run's partition.
+  sim::Simulator seq(scenario, kSeed);
+  check::PartitionedEventDigest seq_digest(psim.partition());
+  seq.set_audit_hook(&seq_digest);
+  baselines::ShortestPathCoordinator seq_coord;
+  seq.run(seq_coord);
+
+  const std::uint32_t k = psim.num_lps();
+  std::vector<check::EventDigest> lp_digests(
+      k, check::EventDigest(check::EventDigest::Mode::kPartitionLocal));
+  std::vector<baselines::ShortestPathCoordinator> coords(k);
+  std::vector<sim::Coordinator*> coord_ptrs;
+  for (std::uint32_t p = 0; p < k; ++p) {
+    psim.lp(p).set_audit_hook(&lp_digests[p]);
+    coord_ptrs.push_back(&coords[p]);
+  }
+  const sim::SimMetrics metrics = psim.run(coord_ptrs);
+
+  point.digests_match = true;
+  for (std::uint32_t p = 0; p < k; ++p) {
+    if (lp_digests[p].digest() != seq_digest.digest(p) ||
+        lp_digests[p].events() != seq_digest.events(p)) {
+      point.digests_match = false;
+      std::fprintf(stderr, "DIGEST MISMATCH %s lps=%u partition %u\n",
+                   point.scenario.c_str(), k, p);
+    }
+  }
+  point.metrics_match = metrics_equal(metrics, seq_metrics);
+
+  const sim::ParallelSimulator::Stats& stats = psim.stats();
+  point.lookahead_ms = stats.lookahead_ms;
+  point.edge_cut = psim.partition().edge_cut();
+  point.windows = stats.windows;
+  point.transfers = stats.transfers;
+  point.conflict_windows = stats.conflict_windows;
+  point.events = stats.events;
+  point.wall_ms = stats.wall_ms;
+  point.seq_wall_ms = seq_wall_ms;
+  return point;
+}
+
+util::Json to_json(const ParallelPoint& p) {
+  return util::Json(util::Json::Object{
+      {"scenario", util::Json(p.scenario)},
+      {"lps", util::Json(static_cast<std::size_t>(p.lps))},
+      {"nodes", util::Json(p.nodes)},
+      {"lookahead_ms", util::Json(p.lookahead_ms)},
+      {"edge_cut", util::Json(p.edge_cut)},
+      {"windows", util::Json(static_cast<std::size_t>(p.windows))},
+      {"transfers", util::Json(static_cast<std::size_t>(p.transfers))},
+      {"remote_ratio", util::Json(p.remote_ratio())},
+      {"conflict_windows", util::Json(static_cast<std::size_t>(p.conflict_windows))},
+      {"events_dispatched", util::Json(static_cast<std::size_t>(p.events))},
+      {"events_per_sec", util::Json(p.events_per_sec())},
+      {"wall_ms", util::Json(p.wall_ms)},
+      {"seq_wall_ms", util::Json(p.seq_wall_ms)},
+      {"speedup_vs_seq", util::Json(p.speedup())},
+      {"digests_match", util::Json(p.digests_match)},
+      {"metrics_match", util::Json(p.metrics_match)},
+  });
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> entries = {"ft_k8_steady", "wan_500_flash"};
+  const std::vector<std::uint32_t> lp_counts = {1, 2, 4, 8};
+  const double eval_time = smoke() ? 600.0 : 4000.0;
+
+  std::printf("sim_parallel (%s: %zu scenario(s) x K in {1,2,4,8}, %.0f ms horizon)\n",
+              smoke() ? "smoke" : "full", entries.size(), eval_time);
+  std::printf("%-16s %3s %8s %5s %8s %9s %7s %12s %8s %7s %6s %5s\n", "scenario", "K",
+              "lookahd", "cut", "windows", "transfers", "confl", "events/s", "wall_ms",
+              "speedup", "digest", "metr");
+
+  util::Json::Array results;
+  bool all_match = true;
+  for (const std::string& name : entries) {
+    const sim::Scenario scenario =
+        check::CorpusGenerator::make(name).with_end_time(eval_time);
+
+    // Hook-free sequential baseline: the honest denominator for speedup.
+    sim::Simulator seq(scenario, kSeed);
+    baselines::ShortestPathCoordinator seq_coord;
+    const util::Timer seq_timer;
+    const sim::SimMetrics seq_metrics = seq.run(seq_coord);
+    const double seq_wall_ms = seq_timer.elapsed_micros() / 1000.0;
+
+    for (const std::uint32_t lps : lp_counts) {
+      const ParallelPoint p = run_point(scenario, lps, seq_wall_ms, seq_metrics);
+      all_match = all_match && p.digests_match && p.metrics_match;
+      std::printf("%-16s %3u %8.3f %5zu %8zu %9zu %7zu %12.0f %8.1f %7.2f %6s %5s\n",
+                  p.scenario.c_str(), p.lps, p.lookahead_ms, p.edge_cut,
+                  static_cast<std::size_t>(p.windows), static_cast<std::size_t>(p.transfers),
+                  static_cast<std::size_t>(p.conflict_windows), p.events_per_sec(), p.wall_ms,
+                  p.speedup(), p.digests_match ? "ok" : "FAIL",
+                  p.metrics_match ? "ok" : "FAIL");
+      results.push_back(to_json(p));
+    }
+  }
+
+  const util::Json doc(util::Json::Object{
+      {"schema", util::Json("dosc.bench.v1")},
+      {"benchmark", util::Json("sim_parallel")},
+      {"smoke", util::Json(smoke())},
+      {"results", util::Json(std::move(results))},
+  });
+  const std::string path = "BENCH_sim_parallel.json";
+  doc.save_file(path, 2);
+  std::printf("wrote %s\n", path.c_str());
+  return all_match ? 0 : 1;
+}

@@ -20,14 +20,45 @@ std::atomic<bool> g_stop_requested{false};
 
 void handle_signal(int) { g_stop_requested.store(true, std::memory_order_release); }
 
-/// (mtime seconds, size) of path, or (0, 0) if it cannot be stat'ed.
-std::pair<std::int64_t, std::int64_t> file_stamp(const std::string& path) {
-  struct stat st{};
-  if (::stat(path.c_str(), &st) != 0) return {0, 0};
-  return {static_cast<std::int64_t>(st.st_mtime), static_cast<std::int64_t>(st.st_size)};
-}
+/// Installs the daemon's SIGINT/SIGTERM handler for its scope and restores
+/// whatever was installed before on every exit path — run_daemon must not
+/// leave its handler behind in an embedding process (CLI, tests) after it
+/// returns.
+class ScopedSignalHandlers {
+ public:
+  ScopedSignalHandlers() {
+    prev_int_ = std::signal(SIGINT, handle_signal);
+    prev_term_ = std::signal(SIGTERM, handle_signal);
+  }
+  ~ScopedSignalHandlers() {
+    if (prev_int_ != SIG_ERR) std::signal(SIGINT, prev_int_);
+    if (prev_term_ != SIG_ERR) std::signal(SIGTERM, prev_term_);
+  }
+  ScopedSignalHandlers(const ScopedSignalHandlers&) = delete;
+  ScopedSignalHandlers& operator=(const ScopedSignalHandlers&) = delete;
+
+ private:
+  void (*prev_int_)(int);
+  void (*prev_term_)(int);
+};
 
 }  // namespace
+
+FileStamp policy_file_stamp(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return {};
+  FileStamp stamp;
+  stamp.mtime_s = static_cast<std::int64_t>(st.st_mtime);
+#if defined(__APPLE__)
+  stamp.mtime_ns = static_cast<std::int64_t>(st.st_mtimespec.tv_nsec);
+#elif defined(st_mtime)
+  // POSIX.1-2008: st_mtime is a macro for st_mtim.tv_sec, so st_mtim with
+  // nanosecond resolution exists.
+  stamp.mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_nsec);
+#endif
+  stamp.size = static_cast<std::int64_t>(st.st_size);
+  return stamp;
+}
 
 core::TrainedPolicy make_untrained_policy(const sim::Scenario& scenario, std::size_t hidden,
                                           std::uint64_t seed) {
@@ -54,13 +85,12 @@ int run_daemon(const DaemonOptions& options) {
   }
 
   g_stop_requested.store(false, std::memory_order_release);
-  std::signal(SIGINT, handle_signal);
-  std::signal(SIGTERM, handle_signal);
+  const ScopedSignalHandlers signal_guard;
 
   using Clock = std::chrono::steady_clock;
   const Clock::time_point started = Clock::now();
   Clock::time_point last_reload_check = started;
-  auto stamp = file_stamp(options.policy_path);
+  FileStamp stamp = policy_file_stamp(options.policy_path);
 
   while (!g_stop_requested.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -72,8 +102,8 @@ int run_daemon(const DaemonOptions& options) {
     if (options.reload_ms > 0 &&
         now - last_reload_check >= std::chrono::milliseconds(options.reload_ms)) {
       last_reload_check = now;
-      const auto current = file_stamp(options.policy_path);
-      if (current != stamp && current.second > 0) {
+      const FileStamp current = policy_file_stamp(options.policy_path);
+      if (current != stamp && current.loadable()) {
         stamp = current;
         try {
           server.publish(core::load_policy(options.policy_path));
@@ -92,6 +122,7 @@ int run_daemon(const DaemonOptions& options) {
 
   server.stop();
   const ServerStats s = server.stats();
+  if (options.final_stats != nullptr) *options.final_stats = s;
   std::printf("dosc_serve: %llu requests, %llu responses, %llu protocol errors, "
               "%llu invalid, %llu batches (%llu gemm, %llu gemv decides), "
               "%llu hot swaps, policy v%u\n",

@@ -26,7 +26,29 @@ struct DaemonOptions {
   double duration_s = 0.0;
   /// Print the port as "PORT <n>" on stdout once listening (scripting).
   bool announce_port = true;
+  /// When set, receives the server's final stats before run_daemon returns
+  /// (embedding/tests; the printed stats line is unaffected).
+  ServerStats* final_stats = nullptr;
 };
+
+/// Change-detection identity of a policy snapshot on disk. Nanosecond
+/// mtime where the platform provides it: a trainer that overwrites the
+/// snapshot with an equal-size file twice within one second must still
+/// produce two distinct stamps, or the daemon's reload poll misses the
+/// second publish.
+struct FileStamp {
+  std::int64_t mtime_s = 0;
+  std::int64_t mtime_ns = 0;  ///< 0 on platforms without sub-second stat
+  std::int64_t size = 0;
+  /// stat succeeded on a non-empty file (a half-created empty snapshot is
+  /// not a loadable policy and must not trigger a reload).
+  bool loadable() const noexcept { return size > 0; }
+  friend bool operator==(const FileStamp&, const FileStamp&) = default;
+};
+
+/// Stamp of `path`, or a default (non-loadable) stamp if it cannot be
+/// stat'ed.
+FileStamp policy_file_stamp(const std::string& path);
 
 /// Untrained randomly initialised policy for `scenario` — the layout the
 /// daemon serves, with weights drawn at `seed`. Lets smoke tests and CI

@@ -1,0 +1,323 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "telemetry/telemetry.hpp"
+#include "util/spsc_queue.hpp"
+#include "util/timer.hpp"
+
+namespace dosc::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Per-channel ring depth. A window rarely produces more than a handful of
+// cross-LP messages; bursts beyond the ring spill into the (unbounded)
+// overflow vector, drained at the same barrier, so nothing is ever lost.
+constexpr std::size_t kRingCapacity = 1024;
+}  // namespace
+
+/// One cross-LP message: a migrating flow or a retroactive hold release.
+/// origin stamps give the barrier phase a canonical (execution-independent)
+/// injection order for simultaneous messages.
+struct ParallelSimulator::Message {
+  FlowTransfer transfer;              ///< valid when !is_release
+  std::uint64_t release_handle = 0;   ///< valid when is_release
+  std::uint64_t origin_seq = 0;
+  std::uint32_t origin_lp = 0;
+  bool is_release = false;
+};
+
+/// Directed channel between two LPs: lock-free ring + overflow spill.
+/// Producer: the source LP's thread (within a window). Consumer: the
+/// barrier phase — its executing thread rotates, but the barrier orders
+/// every access, so the single-consumer contract holds.
+struct ParallelSimulator::Channel {
+  util::SpscQueue<Message> ring{kRingCapacity};
+  std::vector<Message> overflow;
+};
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+ParallelSimulator::ParallelSimulator(const Scenario& scenario, std::uint64_t seed,
+                                     std::uint32_t partitions)
+    : scenario_(scenario),
+      partition_(Partition::build(scenario, partitions)),
+      trace_(TrafficTrace::generate(scenario, seed)) {
+  const std::uint32_t k = partition_.num_parts();
+  if (k > 1 && !(partition_.min_cut_delay() > 0.0)) {
+    throw std::invalid_argument(
+        "ParallelSimulator: zero-delay cut link leaves no conservative lookahead");
+  }
+  lps_.reserve(k);
+  for (std::uint32_t p = 0; p < k; ++p) {
+    lps_.push_back(std::make_unique<Simulator>(scenario, seed, partition_, p, trace_));
+  }
+  channels_.resize(static_cast<std::size_t>(k) * k);
+  for (std::uint32_t s = 0; s < k; ++s) {
+    for (std::uint32_t d = 0; d < k; ++d) {
+      if (s != d) channels_[static_cast<std::size_t>(s) * k + d] = std::make_unique<Channel>();
+    }
+  }
+  msg_seq_.assign(k, 0);
+  lp_metrics_.resize(k);
+  stats_.lps = k;
+  stats_.lookahead_ms = partition_.min_cut_delay();
+  stats_.lp_events.assign(k, 0);
+  stats_.lp_busy_ms.assign(k, 0.0);
+}
+
+SimMetrics ParallelSimulator::run(const std::vector<Coordinator*>& coordinators,
+                                  const std::vector<FlowObserver*>& observers) {
+  const std::uint32_t k = num_lps();
+  if (ran_) throw std::logic_error("ParallelSimulator::run may only be called once");
+  if (coordinators.size() != k) {
+    throw std::invalid_argument("ParallelSimulator::run: one coordinator per LP required");
+  }
+  if (!observers.empty() && observers.size() != k) {
+    throw std::invalid_argument("ParallelSimulator::run: observers must be empty or per-LP");
+  }
+  ran_ = true;
+  const util::Timer wall;
+
+  // Seed every LP on this thread (episode-start callbacks, initial events),
+  // then compute the first window before any worker starts.
+  for (std::uint32_t p = 0; p < k; ++p) {
+    lps_[p]->start(*coordinators[p], observers.empty() ? nullptr : observers[p]);
+  }
+  double gvt = kInf;
+  for (std::uint32_t p = 0; p < k; ++p) gvt = std::min(gvt, lps_[p]->next_event_time());
+  if (gvt == kInf) {
+    done_ = true;  // nothing to simulate
+  } else {
+    last_gvt_ = gvt;
+    window_end_ = gvt + partition_.min_cut_delay();
+    ++stats_.windows;
+  }
+
+  if (done_ || k == 1) {
+    // Single LP (or empty episode): no synchronization to pay for.
+    if (!done_) {
+      const util::Timer busy;
+      lps_[0]->advance_until(kInf);
+      stats_.lp_busy_ms[0] += busy.elapsed_millis();
+    }
+  } else {
+    std::barrier barrier(static_cast<std::ptrdiff_t>(k), [this]() noexcept { barrier_phase(); });
+    std::vector<std::thread> threads;
+    threads.reserve(k);
+    for (std::uint32_t p = 0; p < k; ++p) {
+      threads.emplace_back([this, p, &barrier] {
+        for (;;) {
+          if (!failed_.load(std::memory_order_relaxed)) {
+            try {
+              const util::Timer busy;
+              lps_[p]->advance_until(window_end_);
+              stats_.lp_busy_ms[p] += busy.elapsed_millis();
+              drain_outboxes(p);
+            } catch (...) {
+              // Keep arriving at the barrier so peers don't deadlock; the
+              // completion step sees the failure and winds the run down.
+              record_error();
+            }
+          }
+          barrier.arrive_and_wait();
+          if (done_) return;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (error_ != nullptr) std::rethrow_exception(error_);
+  }
+
+  // Close the episodes on this thread (audit end hooks, telemetry flushes).
+  for (std::uint32_t p = 0; p < k; ++p) {
+    lp_metrics_[p] = lps_[p]->finish();
+    const auto& by_kind = lps_[p]->events_by_kind();
+    for (std::size_t e = 0; e < by_kind.size(); ++e) stats_.lp_events[p] += by_kind[e];
+    stats_.events += stats_.lp_events[p];
+  }
+  stats_.wall_ms = wall.elapsed_millis();
+
+  // Merge per-LP metrics. Integer tallies sum; e2e_delay accumulates
+  // entirely at the egress-owning LP (the single place flows complete), so
+  // the merged stream is bit-identical to the sequential engine's. Decision
+  // timing, when enabled, merges across LPs (order-insensitive Welford
+  // combine — means/variances match, bit patterns may not).
+  const std::uint32_t egress_lp = partition_.part_of(scenario_.config().egress);
+  SimMetrics merged = lp_metrics_[egress_lp];
+  for (std::uint32_t p = 0; p < k; ++p) {
+    if (p == egress_lp) continue;
+    const SimMetrics& m = lp_metrics_[p];
+    merged.generated += m.generated;
+    merged.succeeded += m.succeeded;
+    merged.dropped += m.dropped;
+    for (std::size_t r = 0; r < kNumDropReasons; ++r) {
+      merged.drops_by_reason[r] += m.drops_by_reason[r];
+    }
+    merged.decisions += m.decisions;
+    merged.e2e_delay.merge(m.e2e_delay);
+    merged.decision_time.merge(m.decision_time);
+    merged.decision_time_hist.merge(m.decision_time_hist);
+    merged.rule_update_time.merge(m.rule_update_time);
+    merged.rule_update_time_hist.merge(m.rule_update_time_hist);
+  }
+  if (telemetry::enabled()) flush_telemetry();
+  return merged;
+}
+
+void ParallelSimulator::drain_outboxes(std::uint32_t p) {
+  const std::uint32_t k = num_lps();
+  Simulator& sim = *lps_[p];
+  for (FlowTransfer& t : sim.outgoing_transfers()) {
+    Message msg;
+    const std::uint32_t dest = partition_.part_of(t.dest_node);
+    msg.transfer = std::move(t);
+    msg.origin_lp = p;
+    msg.origin_seq = msg_seq_[p]++;
+    Channel& ch = *channels_[static_cast<std::size_t>(p) * k + dest];
+    if (!ch.ring.try_push(std::move(msg))) ch.overflow.push_back(std::move(msg));
+  }
+  sim.outgoing_transfers().clear();
+  for (const RemoteHoldRef& rh : sim.outgoing_releases()) {
+    Message msg;
+    msg.is_release = true;
+    msg.release_handle = rh.handle;
+    msg.origin_lp = p;
+    msg.origin_seq = msg_seq_[p]++;
+    Channel& ch = *channels_[static_cast<std::size_t>(p) * k + rh.lp];
+    if (!ch.ring.try_push(std::move(msg))) ch.overflow.push_back(std::move(msg));
+  }
+  sim.outgoing_releases().clear();
+}
+
+void ParallelSimulator::record_error() noexcept {
+  const std::lock_guard<std::mutex> lock(error_mu_);
+  if (error_ == nullptr) error_ = std::current_exception();
+  failed_.store(true, std::memory_order_relaxed);
+}
+
+void ParallelSimulator::barrier_phase() noexcept {
+  if (failed_.load(std::memory_order_relaxed)) {
+    done_ = true;
+    return;
+  }
+  try {
+    barrier_phase_impl();
+  } catch (...) {
+    record_error();
+    done_ = true;
+  }
+}
+
+void ParallelSimulator::barrier_phase_impl() {
+  const std::uint32_t k = num_lps();
+
+  // Deliver: drain every channel into per-destination batches, then apply
+  // in canonical order — releases first (they only free capacity), then
+  // transfers by (arrival time, flow id). Both keys are independent of
+  // thread interleaving, so K-way runs are reproducible.
+  std::vector<Message> batch;
+  for (std::uint32_t d = 0; d < k; ++d) {
+    batch.clear();
+    for (std::uint32_t s = 0; s < k; ++s) {
+      if (s == d) continue;
+      Channel& ch = *channels_[static_cast<std::size_t>(s) * k + d];
+      Message msg;
+      while (ch.ring.try_pop(msg)) batch.push_back(std::move(msg));
+      for (Message& m : ch.overflow) batch.push_back(std::move(m));
+      ch.overflow.clear();
+    }
+    if (batch.empty()) continue;
+    std::stable_sort(batch.begin(), batch.end(), [](const Message& x, const Message& y) {
+      if (x.is_release != y.is_release) return x.is_release;
+      if (x.is_release) {
+        return std::pair(x.origin_lp, x.origin_seq) < std::pair(y.origin_lp, y.origin_seq);
+      }
+      if (x.transfer.dest_time != y.transfer.dest_time) {
+        return x.transfer.dest_time < y.transfer.dest_time;
+      }
+      return x.transfer.id < y.transfer.id;
+    });
+    for (const Message& m : batch) {
+      if (m.is_release) {
+        lps_[d]->apply_remote_release(m.release_handle);
+        ++stats_.remote_releases;
+      } else {
+        lps_[d]->inject_flow(m.transfer);
+        ++stats_.transfers;
+      }
+    }
+  }
+
+  refresh_halos();
+
+  // Conflict telemetry: a cut link whose capacity ledger is split across
+  // two LPs that both hold load on it this window — the only situation
+  // where per-LP admission can differ from a global ledger.
+  for (net::LinkId l : partition_.cut_links()) {
+    const net::Link& link = scenario_.network().link(l);
+    const std::uint32_t pa = partition_.part_of(link.a);
+    const std::uint32_t pb = partition_.part_of(link.b);
+    if (lps_[pa]->link_used(l) > 0.0 && lps_[pb]->link_used(l) > 0.0) {
+      ++stats_.conflict_windows;
+      break;  // count windows, not links
+    }
+  }
+
+  // Next window from the new GVT (injections included).
+  double gvt = kInf;
+  for (std::uint32_t p = 0; p < k; ++p) gvt = std::min(gvt, lps_[p]->next_event_time());
+  if (gvt == kInf) {
+    done_ = true;
+    return;
+  }
+  stats_.window_advance_us.add((gvt - last_gvt_) * 1000.0);
+  last_gvt_ = gvt;
+  window_end_ = gvt + partition_.min_cut_delay();
+  ++stats_.windows;
+}
+
+void ParallelSimulator::refresh_halos() {
+  const std::uint32_t k = num_lps();
+  const std::size_t num_components = scenario_.catalog().num_components();
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (net::NodeId v : partition_.halo_of(p)) {
+      const Simulator& owner = *lps_[partition_.part_of(v)];
+      lps_[p]->set_halo_node(v, owner.node_used(v), owner.node_failed(v));
+      for (ComponentId c = 0; c < num_components; ++c) {
+        lps_[p]->set_halo_instance(v, c, owner.instance_available(v, c));
+      }
+    }
+  }
+}
+
+void ParallelSimulator::flush_telemetry() const {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  registry.counter("sim.pdes.windows").add(stats_.windows);
+  registry.counter("sim.pdes.transfers").add(stats_.transfers);
+  registry.counter("sim.pdes.remote_releases").add(stats_.remote_releases);
+  registry.counter("sim.pdes.conflict_windows").add(stats_.conflict_windows);
+  registry.gauge("sim.pdes.lps").set(static_cast<double>(stats_.lps));
+  registry.gauge("sim.pdes.lookahead_ms").set(stats_.lookahead_ms);
+  registry.gauge("sim.pdes.edge_cut").set(static_cast<double>(partition_.edge_cut()));
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < stats_.lps; ++p) {
+    total += stats_.lp_events[p];
+    const double busy_s = stats_.lp_busy_ms[p] / 1000.0;
+    registry.gauge("sim.pdes.lp" + std::to_string(p) + ".events_per_sec")
+        .set(busy_s > 0.0 ? static_cast<double>(stats_.lp_events[p]) / busy_s : 0.0);
+  }
+  const double remote =
+      total > 0 ? static_cast<double>(stats_.transfers) / static_cast<double>(total) : 0.0;
+  registry.gauge("sim.pdes.remote_event_ratio").set(remote);
+  if (stats_.window_advance_us.count() > 0) {
+    registry.merge_histogram("sim.pdes.window_advance_us", stats_.window_advance_us);
+  }
+}
+
+}  // namespace dosc::sim

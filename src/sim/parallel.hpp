@@ -1,0 +1,129 @@
+// Conservative parallel discrete-event simulation (PDES) of one episode.
+//
+// The substrate graph is partitioned into K logical processes (LPs, see
+// sim/partition.hpp); each LP is a full Simulator — its own calendar queue,
+// flow/hold pools, and resource ledgers — owning the events of its region.
+// LPs advance in lockstep windows under conservative synchronization:
+//
+//   lookahead  W   = min propagation delay over the cut links
+//   window     [T, T + W)  with  T = GVT (min next event over all LPs)
+//
+// Any event an LP processes in the window happens at t >= T, so anything it
+// sends over a cut link (delay >= W) arrives at t + delay >= T + W — never
+// inside the window another LP is concurrently processing. A window barrier
+// therefore needs no null messages: LPs run [T, T+W) in parallel, then a
+// single-threaded barrier phase drains the cross-LP rings, injects arrivals
+// in canonical order, applies retroactive hold releases, refreshes halo
+// mirrors, and recomputes the next window from the new GVT.
+//
+// Cross-LP traffic rides util::SpscQueue rings, one per directed LP pair
+// (producer: the sending LP's thread; consumer: the barrier phase, whose
+// rotating identity is safe because the barrier orders all accesses). Flows
+// migrate whole: the sender detaches the record and forwards a FlowTransfer
+// carrying references to holds still draining at the engines it left, so a
+// later drop releases them retroactively (idempotent via generation tags).
+//
+// Determinism + exactness: traffic is pregenerated (TrafficTrace) so flow
+// ids/templates match the sequential engine bit-for-bit; within an LP the
+// relative dispatch order of its events matches the sequential engine's,
+// which is what the per-partition EventDigest (check/digest.hpp) pins. The
+// residual divergence channel is bounded-staleness state: halo mirrors and
+// retro releases lag by at most one window, which can only matter when a
+// boundary decision reads remote state (not sp: it reads local node state
+// only) or when a link runs within one flow of saturation during the lag
+// (counted in Stats::conflict_windows; the digest comparison is the oracle).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/partition.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/histogram.hpp"
+
+namespace dosc::sim {
+
+class ParallelSimulator {
+ public:
+  /// Shard `scenario` into (up to) `partitions` LPs. Throws
+  /// std::invalid_argument for partitions == 0 or a zero-delay cut link
+  /// (no lookahead — conservative synchronization cannot make progress).
+  ParallelSimulator(const Scenario& scenario, std::uint64_t seed, std::uint32_t partitions);
+  ~ParallelSimulator();  // out-of-line: Channel is incomplete here
+
+  std::uint32_t num_lps() const noexcept { return partition_.num_parts(); }
+  const Partition& partition() const noexcept { return partition_; }
+  const TrafficTrace& trace() const noexcept { return trace_; }
+
+  /// The per-LP engines, exposed so callers can install audit hooks /
+  /// decision timing before run(). Do not drive them directly.
+  Simulator& lp(std::uint32_t p) { return *lps_.at(p); }
+  const Simulator& lp(std::uint32_t p) const { return *lps_.at(p); }
+
+  /// Run the episode to completion: one coordinator per LP (the vector size
+  /// must equal num_lps(); observers may be empty or per-LP). Spawns one
+  /// thread per LP, blocks until every queue drains, and returns the merged
+  /// episode metrics. May be called once.
+  SimMetrics run(const std::vector<Coordinator*>& coordinators,
+                 const std::vector<FlowObserver*>& observers = {});
+
+  /// Per-LP metrics after run() (merged view is run()'s return value).
+  const SimMetrics& lp_metrics(std::uint32_t p) const { return lp_metrics_.at(p); }
+
+  struct Stats {
+    std::uint32_t lps = 0;
+    double lookahead_ms = 0.0;           ///< window width W
+    std::uint64_t windows = 0;
+    std::uint64_t transfers = 0;         ///< flows migrated between LPs
+    std::uint64_t remote_releases = 0;   ///< retroactive hold releases sent
+    /// Windows in which some cut link carried load acquired by both of its
+    /// endpoint LPs — the situations where per-LP link ledgers could admit
+    /// more than a single global ledger would.
+    std::uint64_t conflict_windows = 0;
+    std::uint64_t events = 0;            ///< dispatched events, all LPs
+    std::vector<std::uint64_t> lp_events;
+    std::vector<double> lp_busy_ms;      ///< per-LP wall time inside advance_until
+    double wall_ms = 0.0;                ///< run() wall time
+    telemetry::Histogram window_advance_us;  ///< GVT advance per window
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Message;
+  struct Channel;
+
+  /// Single-threaded inter-window step, run as the barrier completion.
+  void barrier_phase() noexcept;
+  void barrier_phase_impl();
+  void drain_outboxes(std::uint32_t p);
+  void refresh_halos();
+  void record_error() noexcept;
+  void flush_telemetry() const;
+
+  const Scenario& scenario_;
+  Partition partition_;
+  TrafficTrace trace_;
+  std::vector<std::unique_ptr<Simulator>> lps_;
+  std::vector<std::unique_ptr<Channel>> channels_;  ///< K*K, index src*K+dst
+  std::vector<std::uint64_t> msg_seq_;              ///< per-LP origin stamp
+  std::vector<SimMetrics> lp_metrics_;
+  Stats stats_;
+
+  // Window state. Written only in the single-threaded barrier phase (or
+  // before threads start) and read by LP threads after the barrier releases
+  // them — the barrier's completion-step ordering makes plain fields safe.
+  double window_end_ = 0.0;
+  double last_gvt_ = 0.0;
+  bool done_ = false;
+  bool ran_ = false;
+  /// First exception thrown anywhere (LP thread or barrier phase); threads
+  /// keep arriving at the barrier after a failure so peers don't deadlock.
+  std::atomic<bool> failed_{false};
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace dosc::sim

@@ -1,0 +1,329 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+#include "traffic/arrival.hpp"
+#include "util/rng.hpp"
+
+namespace dosc::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Refinement keeps every partition's load within this factor of the mean.
+constexpr double kBalanceTolerance = 1.25;
+
+/// Expected-load node weights: 1 + the number of ingress->egress
+/// shortest-path walks through the node (see header comment).
+std::vector<double> load_weights(const Scenario& scenario) {
+  const net::Network& network = scenario.network();
+  const net::ShortestPaths& sp = scenario.shortest_paths();
+  std::vector<double> weight(network.num_nodes(), 1.0);
+  const net::NodeId egress = scenario.config().egress;
+  for (net::NodeId ingress : scenario.config().ingress) {
+    net::NodeId v = ingress;
+    weight[v] += 1.0;
+    // Walk the next-hop chain; bail out defensively on unreachable pairs.
+    for (std::size_t hops = 0; v != egress && hops < network.num_nodes(); ++hops) {
+      const net::NodeId next = sp.next_hop(v, egress);
+      if (next == net::kInvalidNode || next == v) break;
+      v = next;
+      weight[v] += 1.0;
+    }
+  }
+  return weight;
+}
+
+/// BFS hop distances from `source` (unweighted).
+std::vector<std::uint32_t> hop_distances(const net::Network& network, net::NodeId source) {
+  constexpr std::uint32_t kUnseen = 0xFFFFFFFF;
+  std::vector<std::uint32_t> dist(network.num_nodes(), kUnseen);
+  std::queue<net::NodeId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const net::NodeId u = queue.front();
+    queue.pop();
+    for (const net::Neighbor& nb : network.neighbors(u)) {
+      if (dist[nb.node] == kUnseen) {
+        dist[nb.node] = dist[u] + 1;
+        queue.push(nb.node);
+      }
+    }
+  }
+  return dist;
+}
+
+/// K seeds spread by farthest-point sampling on hop distance; the first is
+/// the heaviest node (ties toward lower id throughout).
+std::vector<net::NodeId> pick_seeds(const net::Network& network,
+                                    const std::vector<double>& weight, std::uint32_t parts) {
+  std::vector<net::NodeId> seeds;
+  net::NodeId first = 0;
+  for (net::NodeId v = 1; v < network.num_nodes(); ++v) {
+    if (weight[v] > weight[first]) first = v;
+  }
+  seeds.push_back(first);
+  std::vector<std::uint32_t> nearest = hop_distances(network, first);
+  while (seeds.size() < parts) {
+    net::NodeId best = net::kInvalidNode;
+    for (net::NodeId v = 0; v < network.num_nodes(); ++v) {
+      if (std::find(seeds.begin(), seeds.end(), v) != seeds.end()) continue;
+      if (best == net::kInvalidNode || nearest[v] > nearest[best]) best = v;
+    }
+    seeds.push_back(best);
+    const std::vector<std::uint32_t> d = hop_distances(network, best);
+    for (net::NodeId v = 0; v < network.num_nodes(); ++v) {
+      nearest[v] = std::min(nearest[v], d[v]);
+    }
+  }
+  return seeds;
+}
+
+}  // namespace
+
+Partition Partition::build(const Scenario& scenario, std::uint32_t parts) {
+  if (parts == 0) throw std::invalid_argument("Partition::build: parts == 0");
+  const net::Network& network = scenario.network();
+  const std::size_t v_count = network.num_nodes();
+  parts = static_cast<std::uint32_t>(
+      std::min<std::size_t>(parts, v_count));
+
+  Partition partition;
+  partition.num_parts_ = parts;
+  partition.part_.assign(v_count, parts);  // `parts` = unassigned sentinel
+  const std::vector<double> weight = load_weights(scenario);
+  partition.load_.assign(parts, 0.0);
+
+  if (parts == 1) {
+    std::fill(partition.part_.begin(), partition.part_.end(), 0u);
+    partition.load_[0] = std::accumulate(weight.begin(), weight.end(), 0.0);
+    partition.finalize(network);
+    return partition;
+  }
+
+  // --- greedy region growth from spread seeds ---
+  const std::vector<net::NodeId> seeds = pick_seeds(network, weight, parts);
+  std::vector<std::vector<net::NodeId>> frontier(parts);
+  std::size_t assigned = 0;
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    partition.part_[seeds[p]] = p;
+    partition.load_[p] = weight[seeds[p]];
+    ++assigned;
+    for (const net::Neighbor& nb : network.neighbors(seeds[p])) frontier[p].push_back(nb.node);
+  }
+  while (assigned < v_count) {
+    // Extend the lightest partition (ties toward the lower id).
+    std::uint32_t p = 0;
+    for (std::uint32_t q = 1; q < parts; ++q) {
+      if (partition.load_[q] < partition.load_[p]) p = q;
+    }
+    // Best unassigned frontier node: strongest adjacency to p, then lower id.
+    net::NodeId best = net::kInvalidNode;
+    std::size_t best_adj = 0;
+    std::vector<net::NodeId>& front = frontier[p];
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < front.size(); ++r) {
+      const net::NodeId v = front[r];
+      if (partition.part_[v] != parts) continue;  // claimed meanwhile
+      front[w++] = v;
+      std::size_t adj = 0;
+      for (const net::Neighbor& nb : network.neighbors(v)) {
+        if (partition.part_[nb.node] == p) ++adj;
+      }
+      if (best == net::kInvalidNode || adj > best_adj ||
+          (adj == best_adj && v < best)) {
+        best = v;
+        best_adj = adj;
+      }
+    }
+    front.resize(w);
+    if (best == net::kInvalidNode) {
+      // Frontier exhausted (disconnected component or partition walled in):
+      // take the globally lowest unassigned node so growth always proceeds.
+      for (net::NodeId v = 0; v < v_count; ++v) {
+        if (partition.part_[v] == parts) {
+          best = v;
+          break;
+        }
+      }
+    }
+    partition.part_[best] = p;
+    partition.load_[p] += weight[best];
+    ++assigned;
+    for (const net::Neighbor& nb : network.neighbors(best)) {
+      if (partition.part_[nb.node] == parts) front.push_back(nb.node);
+    }
+  }
+
+  // --- boundary refinement (FM-lite): move single nodes that strictly
+  // reduce the cut while respecting balance and non-emptiness ---
+  const double mean_load =
+      std::accumulate(partition.load_.begin(), partition.load_.end(), 0.0) /
+      static_cast<double>(parts);
+  std::vector<std::size_t> part_size(parts, 0);
+  for (net::NodeId v = 0; v < v_count; ++v) ++part_size[partition.part_[v]];
+  for (int pass = 0; pass < 4; ++pass) {
+    bool moved = false;
+    for (net::NodeId v = 0; v < v_count; ++v) {
+      const std::uint32_t from = partition.part_[v];
+      if (part_size[from] <= 1) continue;
+      // Adjacency of v per neighbouring partition.
+      std::size_t home_adj = 0;
+      std::uint32_t to = from;
+      std::size_t to_adj = 0;
+      for (const net::Neighbor& nb : network.neighbors(v)) {
+        const std::uint32_t q = partition.part_[nb.node];
+        if (q == from) {
+          ++home_adj;
+          continue;
+        }
+        std::size_t adj = 0;
+        for (const net::Neighbor& nb2 : network.neighbors(v)) {
+          if (partition.part_[nb2.node] == q) ++adj;
+        }
+        if (adj > to_adj || (adj == to_adj && to != from && q < to)) {
+          to = q;
+          to_adj = adj;
+        }
+      }
+      if (to == from || to_adj <= home_adj) continue;  // no strict cut gain
+      if (partition.load_[to] + weight[v] > kBalanceTolerance * mean_load) continue;
+      partition.part_[v] = to;
+      partition.load_[from] -= weight[v];
+      partition.load_[to] += weight[v];
+      --part_size[from];
+      ++part_size[to];
+      moved = true;
+    }
+    if (!moved) break;
+  }
+
+  partition.finalize(network);
+  return partition;
+}
+
+void Partition::finalize(const net::Network& network) {
+  const std::size_t l_count = network.num_links();
+  cut_flag_.assign(l_count, 0);
+  link_owner_.assign(l_count, 0);
+  cut_links_.clear();
+  min_cut_delay_ = kInf;
+  for (net::LinkId l = 0; l < l_count; ++l) {
+    const net::Link& link = network.link(l);
+    const std::uint32_t pa = part_[link.a];
+    const std::uint32_t pb = part_[link.b];
+    if (pa == pb) {
+      link_owner_[l] = pa;
+    } else {
+      cut_flag_[l] = 1;
+      cut_links_.push_back(l);
+      link_owner_[l] = part_[std::min(link.a, link.b)];
+      min_cut_delay_ = std::min(min_cut_delay_, link.delay);
+    }
+  }
+  nodes_.assign(num_parts_, {});
+  for (net::NodeId v = 0; v < network.num_nodes(); ++v) {
+    nodes_[part_[v]].push_back(v);
+  }
+  halo_.assign(num_parts_, {});
+  std::vector<char> seen(network.num_nodes(), 0);
+  for (std::uint32_t p = 0; p < num_parts_; ++p) {
+    std::fill(seen.begin(), seen.end(), 0);
+    for (net::NodeId v : nodes_[p]) {
+      for (const net::Neighbor& nb : network.neighbors(v)) {
+        if (part_[nb.node] != p && !seen[nb.node]) {
+          seen[nb.node] = 1;
+          halo_[p].push_back(nb.node);
+        }
+      }
+    }
+    std::sort(halo_[p].begin(), halo_[p].end());
+  }
+}
+
+double Partition::imbalance() const noexcept {
+  const double total = std::accumulate(load_.begin(), load_.end(), 0.0);
+  if (total <= 0.0 || num_parts_ == 0) return 1.0;
+  const double mean = total / static_cast<double>(num_parts_);
+  return *std::max_element(load_.begin(), load_.end()) / mean;
+}
+
+TrafficTrace TrafficTrace::generate(const Scenario& scenario, std::uint64_t seed) {
+  const ScenarioConfig& config = scenario.config();
+  TrafficTrace trace;
+  trace.chains_.resize(config.ingress.size());
+
+  // Replicate the sequential engine's RNG consumption exactly: the capacity
+  // fork and the per-ingress forks each consume one draw from the master
+  // stream at construction; weighted-template draws continue it afterwards.
+  util::Rng master(seed);
+  util::Rng cap_rng = master.fork(1);
+  (void)cap_rng;
+  std::vector<util::Rng> ingress_rngs;
+  std::vector<std::unique_ptr<traffic::ArrivalProcess>> arrivals;
+  for (std::size_t i = 0; i < config.ingress.size(); ++i) {
+    ingress_rngs.push_back(master.fork(100 + i));
+    arrivals.push_back(config.traffic.make_process());
+  }
+  std::vector<double> cumulative;
+  if (config.flows.size() > 1) {
+    double total = 0.0;
+    for (const FlowTemplate& t : config.flows) {
+      total += t.weight;
+      cumulative.push_back(total);
+    }
+  }
+
+  // The arrival chains form a self-contained DES: each dispatch stamps one
+  // flow and schedules the next arrival of the same ingress. A (time,
+  // schedule-order) heap replays exactly the relative dispatch order of
+  // kTrafficArrival events in the full engine — seq numbers are globally
+  // monotonic there, so the restriction to this subsequence is order-
+  // preserving — and with it the template-draw order on the master stream.
+  using HeapItem = std::tuple<double, std::uint64_t, std::size_t>;  // time, order, ingress
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>> heap;
+  std::uint64_t order = 0;
+  for (std::size_t i = 0; i < config.ingress.size(); ++i) {
+    const double dt = arrivals[i]->next_interarrival(0.0, ingress_rngs[i]);
+    heap.push({dt, order++, i});
+  }
+  FlowId next_flow_id = 1;
+  while (!heap.empty()) {
+    const auto [time, tag, i] = heap.top();
+    heap.pop();
+    if (time > config.end_time) {
+      // Horizon sentinel: the engine dispatches this event but stamps
+      // nothing and stops the chain.
+      trace.chains_[i].push_back({time, 0, 0});
+      continue;
+    }
+    std::uint32_t template_index = 0;
+    if (!cumulative.empty()) {
+      const double total = cumulative.back();
+      if (total > 0.0) {
+        const double u = master.uniform(0.0, total);
+        template_index = static_cast<std::uint32_t>(
+            std::lower_bound(cumulative.begin(), cumulative.end(), u) - cumulative.begin());
+        if (template_index >= cumulative.size()) {
+          template_index = static_cast<std::uint32_t>(cumulative.size() - 1);
+        }
+      } else {
+        template_index = static_cast<std::uint32_t>(cumulative.size() - 1);
+      }
+    }
+    trace.chains_[i].push_back({time, next_flow_id++, template_index});
+    ++trace.num_flows_;
+    const double dt = arrivals[i]->next_interarrival(time, ingress_rngs[i]);
+    heap.push({time + dt, order++, i});
+  }
+  return trace;
+}
+
+}  // namespace dosc::sim

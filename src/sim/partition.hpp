@@ -1,0 +1,138 @@
+// Edge-cut partitioning of the substrate graph into K logical processes.
+//
+// The parallel simulator (sim/parallel.hpp) shards one episode across K
+// LPs, each owning a contiguous region of the substrate: every node belongs
+// to exactly one partition, a link is *interior* to the partition owning
+// both endpoints and a *cut link* otherwise. Cut links are what couples the
+// LPs: a flow forwarded over one migrates between engines, and the link's
+// propagation delay is the lookahead that makes conservative synchronization
+// possible — so the partitioner minimises the number of cut links while
+// balancing the *expected flow load* per partition, not the raw node count.
+//
+// Load model: flows enter at the scenario's ingress nodes and head for the
+// single egress, and all coordinators herd them near the shortest paths
+// (sp follows them exactly; gcasp and the DRL agents deviate locally). The
+// expected load of a node is therefore 1 (it exists) plus the number of
+// ingress->egress shortest-path walks through it. Balancing that weight
+// spreads the event stream, which is what equalises LP wall time.
+//
+// Algorithm (deterministic, O(V log V + E) per pass): greedy region growth
+// from K hop-spread seeds — always extending the lightest partition by the
+// frontier node with the strongest adjacency to it — followed by a few
+// boundary-refinement passes that move single nodes when that strictly
+// reduces the cut without emptying a partition or breaking the load
+// tolerance. This is GGP+FM-lite, not METIS; the graphs are 10^1..10^3
+// nodes and partitioning runs once per episode batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/flow.hpp"
+#include "sim/scenario.hpp"
+
+namespace dosc::sim {
+
+class Partition {
+ public:
+  /// Partition `scenario`'s substrate into `parts` balanced regions.
+  /// parts is clamped to [1, num_nodes]. Throws std::invalid_argument for
+  /// parts == 0.
+  static Partition build(const Scenario& scenario, std::uint32_t parts);
+
+  std::uint32_t num_parts() const noexcept { return num_parts_; }
+  std::uint32_t part_of(net::NodeId v) const { return part_.at(v); }
+  bool is_cut(net::LinkId l) const { return cut_flag_.at(l) != 0; }
+  /// Links with endpoints in two different partitions, ascending id.
+  const std::vector<net::LinkId>& cut_links() const noexcept { return cut_links_; }
+  /// Owner of a link's events: the partition of both endpoints for interior
+  /// links; for cut links, deterministically the partition of the lower
+  /// endpoint id (the side that dispatches + digests its failure events —
+  /// the other side handles them as shadow events).
+  std::uint32_t link_owner(net::LinkId l) const { return link_owner_.at(l); }
+
+  const std::vector<net::NodeId>& nodes_of(std::uint32_t p) const { return nodes_.at(p); }
+  /// Remote nodes adjacent to partition p (targets of p's halo refresh:
+  /// their node state is readable by p's boundary decisions), ascending id.
+  const std::vector<net::NodeId>& halo_of(std::uint32_t p) const { return halo_.at(p); }
+
+  /// Minimum propagation delay over the cut links — the conservative
+  /// lookahead window. +inf when there is no cut (K == 1).
+  double min_cut_delay() const noexcept { return min_cut_delay_; }
+  /// Total expected-load weight of partition p (see header comment).
+  double load_of(std::uint32_t p) const { return load_.at(p); }
+  /// max load / mean load; 1.0 is perfect balance.
+  double imbalance() const noexcept;
+  std::size_t edge_cut() const noexcept { return cut_links_.size(); }
+
+ private:
+  Partition() = default;
+  void finalize(const net::Network& network);
+
+  std::uint32_t num_parts_ = 1;
+  std::vector<std::uint32_t> part_;       ///< node -> partition
+  std::vector<char> cut_flag_;            ///< link -> crosses partitions
+  std::vector<std::uint32_t> link_owner_; ///< link -> owning partition
+  std::vector<net::LinkId> cut_links_;
+  std::vector<std::vector<net::NodeId>> nodes_;
+  std::vector<std::vector<net::NodeId>> halo_;
+  std::vector<double> load_;
+  double min_cut_delay_ = 0.0;
+};
+
+// --- PDES support types shared by the per-LP engines and the driver ---
+
+/// One pregenerated arrival at an ingress. `flow_id == 0` marks the chain's
+/// final beyond-horizon record: the sequential engine dispatches that event
+/// and returns before stamping a flow, so it must still be dispatched (and
+/// digested) by the LP owning the ingress, but produces nothing.
+struct TraceEntry {
+  double time = 0.0;
+  FlowId flow_id = 0;
+  std::uint32_t template_index = 0;
+};
+
+/// Pregenerated traffic: per-ingress arrival chains carrying the exact
+/// (time, flow id, template) stream the seed-driven sequential engine
+/// produces. Sharding the episode splits the master RNG's consumers across
+/// engines; replaying a trace instead keeps the global draw order — flow
+/// ids and templates — bit-identical regardless of K.
+class TrafficTrace {
+ public:
+  /// Replay `scenario`'s traffic with the construction-time draw order of
+  /// `Simulator(scenario, seed)`: capacity fork, per-ingress forks, initial
+  /// interarrival draws in ingress order, then one weighted-template draw
+  /// per stamped arrival in global (time, schedule-order) sequence.
+  static TrafficTrace generate(const Scenario& scenario, std::uint64_t seed);
+
+  const std::vector<TraceEntry>& chain(std::size_t ingress_index) const {
+    return chains_.at(ingress_index);
+  }
+  /// Flows stamped within the horizon (excludes the sentinel records).
+  std::uint64_t num_flows() const noexcept { return num_flows_; }
+
+ private:
+  std::vector<std::vector<TraceEntry>> chains_;
+  std::uint64_t num_flows_ = 0;
+};
+
+/// A flow migrating between LPs over a cut link. Carries the full flow
+/// record plus the handles of holds still draining at the engines it left.
+struct FlowTransfer {
+  FlowId id = 0;
+  ServiceId service = 0;
+  std::size_t chain_pos = 0;
+  net::NodeId ingress = net::kInvalidNode;
+  net::NodeId egress = net::kInvalidNode;
+  double rate = 1.0;
+  double duration = 1.0;
+  double arrival_time = 0.0;
+  double deadline = 100.0;
+  net::NodeId from_node = net::kInvalidNode;  ///< node it was forwarded from
+  net::NodeId dest_node = net::kInvalidNode;  ///< node it arrives at
+  double dest_time = 0.0;                     ///< arrival event time
+  std::vector<RemoteHoldRef> holds;
+};
+
+}  // namespace dosc::sim

@@ -148,6 +148,17 @@ Histogram Histogram::from_json(const util::Json& json) {
   hist.sum_ = json.at("sum").as_number();
   hist.min_ = json.at("min").as_number();
   hist.max_ = json.at("max").as_number();
+  // The scalar fields are redundant with the buckets; a snapshot where they
+  // disagree (truncated write, manual edit) must not deserialize into a
+  // histogram whose percentile() and count() contradict each other.
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : hist.buckets_) bucket_total += b;
+  if (bucket_total != hist.count_) {
+    throw util::JsonError("Histogram::from_json: count does not match bucket sum");
+  }
+  if (hist.count_ > 0 && !(hist.min_ <= hist.max_)) {
+    throw util::JsonError("Histogram::from_json: min/max inconsistent");
+  }
   return hist;
 }
 

@@ -1,0 +1,111 @@
+// Daemon lifecycle regressions (serve/daemon.hpp): the reload poll's file
+// stamp must see a same-size rewrite within one second (nanosecond mtime),
+// and run_daemon must restore whatever signal handlers the embedding
+// process had installed, on every exit path.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "core/policy_io.hpp"
+#include "serve/daemon.hpp"
+#include "sim/scenario.hpp"
+
+using namespace dosc;
+
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+void sentinel_handler(int) {}
+
+/// Rewrite `path` with its current contents — same size, new mtime.
+void rewrite_in_place(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  const std::string contents((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+serve::DaemonOptions daemon_fixture(const char* tag) {
+  const sim::Scenario scenario = sim::make_base_scenario();
+  serve::DaemonOptions options;
+  options.scenario_path = temp_path((std::string("daemon_scenario_") + tag + ".json").c_str());
+  options.policy_path = temp_path((std::string("daemon_policy_") + tag + ".json").c_str());
+  scenario.save(options.scenario_path);
+  core::save_policy(serve::make_untrained_policy(scenario, 8, 7), options.policy_path);
+  options.server.port = 0;  // ephemeral
+  options.announce_port = false;
+  return options;
+}
+
+}  // namespace
+
+TEST(ServeDaemon, FileStampSeesSameSizeRewriteWithinOneSecond) {
+  const std::string path = temp_path("stamp_probe.bin");
+  { std::ofstream(path, std::ios::binary) << "snapshot-payload"; }
+  const serve::FileStamp first = serve::policy_file_stamp(path);
+  ASSERT_TRUE(first.loadable());
+
+  // Both writes land in the same wall-clock second: only sub-second mtime
+  // resolution can tell them apart, since the size is unchanged.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  rewrite_in_place(path);
+  const serve::FileStamp second = serve::policy_file_stamp(path);
+  ASSERT_TRUE(second.loadable());
+  EXPECT_EQ(second.size, first.size);
+  EXPECT_NE(second, first) << "second-granularity stamp missed a same-size rewrite";
+}
+
+TEST(ServeDaemon, MissingFileStampIsNotLoadable) {
+  const serve::FileStamp missing = serve::policy_file_stamp(temp_path("no_such_policy.json"));
+  EXPECT_FALSE(missing.loadable());
+  EXPECT_EQ(missing, serve::FileStamp{});
+}
+
+TEST(ServeDaemon, HotSwapsSameSizeRewriteWithinOneSecond) {
+  serve::DaemonOptions options = daemon_fixture("hotswap");
+  options.reload_ms = 50;
+  options.duration_s = 1.5;
+  serve::ServerStats stats;
+  options.final_stats = &stats;
+
+  std::thread daemon([&options]() { serve::run_daemon(options); });
+  // Two same-size rewrites of the snapshot, well inside the daemon's run
+  // and (typically) inside one second of the original write.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  rewrite_in_place(options.policy_path);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  rewrite_in_place(options.policy_path);
+  daemon.join();
+
+  EXPECT_GE(stats.hot_swaps, 1u)
+      << "reload poll missed every same-size rewrite of the policy snapshot";
+}
+
+TEST(ServeDaemon, RestoresPriorSignalHandlersOnExit) {
+  serve::DaemonOptions options = daemon_fixture("signals");
+  options.reload_ms = 0;
+  options.duration_s = 0.2;
+
+  ASSERT_NE(std::signal(SIGINT, &sentinel_handler), SIG_ERR);
+  ASSERT_NE(std::signal(SIGTERM, &sentinel_handler), SIG_ERR);
+
+  // Twice: the first run must not clobber what the second run restores.
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_EQ(serve::run_daemon(options), 0);
+    void (*after_int)(int) = std::signal(SIGINT, &sentinel_handler);
+    void (*after_term)(int) = std::signal(SIGTERM, &sentinel_handler);
+    EXPECT_EQ(after_int, &sentinel_handler) << "round " << round;
+    EXPECT_EQ(after_term, &sentinel_handler) << "round " << round;
+  }
+
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+}

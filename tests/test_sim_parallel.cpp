@@ -1,0 +1,218 @@
+// Conservative PDES (sim/partition.hpp + sim/parallel.hpp): partition
+// invariants, trace-replay fidelity, and the exactness contract — a K-way
+// sharded episode dispatches, per partition, exactly the events the
+// sequential engine routes to that partition (digest equality), produces
+// bit-identical episode metrics, and stays invariant-clean per LP.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "baselines/shortest_path.hpp"
+#include "check/auditor.hpp"
+#include "check/corpus.hpp"
+#include "check/digest.hpp"
+#include "sim/parallel.hpp"
+#include "sim/partition.hpp"
+#include "sim/simulator.hpp"
+
+using namespace dosc;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20260807;
+constexpr double kHorizon = 600.0;
+
+sim::Scenario corpus_scenario(const std::string& name) {
+  return check::CorpusGenerator::make(name).with_end_time(kHorizon);
+}
+
+}  // namespace
+
+TEST(Partition, CoversEveryNodeExactlyOnce) {
+  const sim::Scenario scenario = corpus_scenario("ft_k4_steady");
+  const net::Network& network = scenario.network();
+  for (std::uint32_t k : {2u, 4u}) {
+    const sim::Partition part = sim::Partition::build(scenario, k);
+    ASSERT_EQ(part.num_parts(), k);
+    std::set<net::NodeId> seen;
+    for (std::uint32_t p = 0; p < k; ++p) {
+      EXPECT_FALSE(part.nodes_of(p).empty()) << "partition " << p << " empty at k=" << k;
+      for (net::NodeId v : part.nodes_of(p)) {
+        EXPECT_EQ(part.part_of(v), p);
+        EXPECT_TRUE(seen.insert(v).second) << "node " << v << " owned twice";
+      }
+    }
+    EXPECT_EQ(seen.size(), network.num_nodes());
+    EXPECT_GE(part.imbalance(), 1.0);
+  }
+}
+
+TEST(Partition, CutLinksAndLookaheadAreConsistent) {
+  const sim::Scenario scenario = corpus_scenario("wan_100_steady");
+  const net::Network& network = scenario.network();
+  const sim::Partition part = sim::Partition::build(scenario, 4);
+
+  double min_delay = std::numeric_limits<double>::infinity();
+  std::size_t cut_count = 0;
+  for (net::LinkId l = 0; l < network.num_links(); ++l) {
+    const bool crosses =
+        part.part_of(network.link(l).a) != part.part_of(network.link(l).b);
+    EXPECT_EQ(part.is_cut(l), crosses) << "link " << l;
+    if (crosses) {
+      ++cut_count;
+      min_delay = std::min(min_delay, network.link(l).delay);
+      // The owner dispatches the link's failure events: deterministically
+      // the partition of the lower endpoint id.
+      const net::NodeId lo = std::min(network.link(l).a, network.link(l).b);
+      EXPECT_EQ(part.link_owner(l), part.part_of(lo));
+    } else {
+      EXPECT_EQ(part.link_owner(l), part.part_of(network.link(l).a));
+    }
+  }
+  EXPECT_EQ(part.edge_cut(), cut_count);
+  EXPECT_EQ(part.cut_links().size(), cut_count);
+  EXPECT_GT(cut_count, 0u);
+  EXPECT_EQ(part.min_cut_delay(), min_delay);
+  EXPECT_GT(part.min_cut_delay(), 0.0);
+
+  // Halo of p: remote nodes adjacent to p, each reachable over some cut link.
+  for (std::uint32_t p = 0; p < part.num_parts(); ++p) {
+    for (net::NodeId v : part.halo_of(p)) EXPECT_NE(part.part_of(v), p);
+  }
+}
+
+TEST(Partition, SinglePartitionHasNoCut) {
+  const sim::Scenario scenario = corpus_scenario("ft_k4_steady");
+  const sim::Partition part = sim::Partition::build(scenario, 1);
+  EXPECT_EQ(part.num_parts(), 1u);
+  EXPECT_EQ(part.edge_cut(), 0u);
+  EXPECT_TRUE(std::isinf(part.min_cut_delay()));
+}
+
+TEST(Partition, ClampsToNodeCountAndRejectsZero) {
+  const sim::Scenario scenario = corpus_scenario("ft_k4_steady");
+  const sim::Partition part =
+      sim::Partition::build(scenario, 10 * static_cast<std::uint32_t>(
+                                              scenario.network().num_nodes()));
+  EXPECT_LE(part.num_parts(), scenario.network().num_nodes());
+  EXPECT_THROW(sim::Partition::build(scenario, 0), std::invalid_argument);
+}
+
+TEST(TrafficTrace, SinglePartitionReplayMatchesSequentialFullDigest) {
+  // K=1 exercises the trace-replay machinery with nothing else (no cut, no
+  // migration): the one LP must dispatch the sequential engine's event
+  // stream bit-for-bit, including the global seq numbers.
+  for (const char* name : {"ft_k4_steady", "wan_100_steady"}) {
+    const sim::Scenario scenario = corpus_scenario(name);
+
+    sim::Simulator seq(scenario, kSeed);
+    check::EventDigest seq_digest;
+    seq.set_audit_hook(&seq_digest);
+    baselines::ShortestPathCoordinator seq_coord;
+    const sim::SimMetrics seq_metrics = seq.run(seq_coord);
+
+    sim::ParallelSimulator psim(scenario, kSeed, 1);
+    EXPECT_EQ(psim.trace().num_flows(), seq_metrics.generated);
+    check::EventDigest lp_digest;
+    psim.lp(0).set_audit_hook(&lp_digest);
+    baselines::ShortestPathCoordinator par_coord;
+    const sim::SimMetrics par_metrics = psim.run({&par_coord});
+
+    EXPECT_EQ(lp_digest.digest(), seq_digest.digest()) << name;
+    EXPECT_EQ(lp_digest.events(), seq_digest.events()) << name;
+    EXPECT_EQ(par_metrics.generated, seq_metrics.generated) << name;
+    EXPECT_EQ(par_metrics.succeeded, seq_metrics.succeeded) << name;
+    EXPECT_EQ(par_metrics.dropped, seq_metrics.dropped) << name;
+  }
+}
+
+TEST(ParallelSimulator, KWayMatchesSequentialPerPartition) {
+  // The headline exactness check: for K in {1, 2, 4}, every partition's
+  // event digest equals the sequential engine's events routed to that
+  // partition, the merged metrics are identical, and each LP passes the
+  // invariant audit in partitioned mode.
+  for (const char* name : {"ft_k4_steady", "wan_100_steady"}) {
+    const sim::Scenario scenario = corpus_scenario(name);
+
+    for (std::uint32_t k : {1u, 2u, 4u}) {
+      sim::ParallelSimulator psim(scenario, kSeed, k);
+      ASSERT_EQ(psim.num_lps(), k) << name;
+
+      // Sequential reference, events routed through the same partition.
+      sim::Simulator seq(scenario, kSeed);
+      check::PartitionedEventDigest seq_digest(psim.partition());
+      seq.set_audit_hook(&seq_digest);
+      baselines::ShortestPathCoordinator seq_coord;
+      const sim::SimMetrics seq_metrics = seq.run(seq_coord);
+
+      std::vector<check::EventDigest> lp_digests(
+          k, check::EventDigest(check::EventDigest::Mode::kPartitionLocal));
+      check::AuditorOptions audit_options;
+      audit_options.partitioned = true;
+      std::vector<check::InvariantAuditor> auditors(k, check::InvariantAuditor(audit_options));
+      std::vector<check::HookChain> hooks(k);
+      std::vector<baselines::ShortestPathCoordinator> coords(k);
+      std::vector<sim::Coordinator*> coord_ptrs;
+      std::vector<sim::FlowObserver*> observer_ptrs;
+      for (std::uint32_t p = 0; p < k; ++p) {
+        hooks[p].add(&auditors[p]);
+        hooks[p].add(&lp_digests[p]);
+        psim.lp(p).set_audit_hook(&hooks[p]);
+        coord_ptrs.push_back(&coords[p]);
+        observer_ptrs.push_back(&auditors[p]);
+      }
+      const sim::SimMetrics par_metrics = psim.run(coord_ptrs, observer_ptrs);
+
+      std::uint64_t lp_events = 0;
+      for (std::uint32_t p = 0; p < k; ++p) {
+        EXPECT_EQ(lp_digests[p].digest(), seq_digest.digest(p))
+            << name << " k=" << k << " partition " << p;
+        EXPECT_EQ(lp_digests[p].events(), seq_digest.events(p))
+            << name << " k=" << k << " partition " << p;
+        EXPECT_TRUE(auditors[p].ok())
+            << name << " k=" << k << " partition " << p << ": " << auditors[p].report();
+        lp_events += lp_digests[p].events();
+      }
+      EXPECT_GT(lp_events, 0u);
+
+      EXPECT_EQ(par_metrics.generated, seq_metrics.generated) << name << " k=" << k;
+      EXPECT_EQ(par_metrics.succeeded, seq_metrics.succeeded) << name << " k=" << k;
+      EXPECT_EQ(par_metrics.dropped, seq_metrics.dropped) << name << " k=" << k;
+      for (std::size_t r = 0; r < sim::kNumDropReasons; ++r) {
+        EXPECT_EQ(par_metrics.drops_by_reason[r], seq_metrics.drops_by_reason[r])
+            << name << " k=" << k << " reason " << r;
+      }
+      EXPECT_EQ(par_metrics.e2e_delay.count(), seq_metrics.e2e_delay.count())
+          << name << " k=" << k;
+      EXPECT_EQ(par_metrics.e2e_delay.mean(), seq_metrics.e2e_delay.mean())
+          << name << " k=" << k;
+
+      const sim::ParallelSimulator::Stats& stats = psim.stats();
+      EXPECT_EQ(stats.lps, k);
+      if (k > 1) {
+        EXPECT_GT(stats.windows, 0u) << name << " k=" << k;
+        EXPECT_GT(stats.transfers, 0u)
+            << name << " k=" << k << ": no flow ever crossed a partition";
+      }
+    }
+  }
+}
+
+TEST(ParallelSimulator, RejectsZeroPartitionsAndSecondRun) {
+  const sim::Scenario scenario = corpus_scenario("ft_k4_steady");
+  EXPECT_THROW(sim::ParallelSimulator(scenario, kSeed, 0), std::invalid_argument);
+
+  sim::ParallelSimulator psim(scenario, kSeed, 2);
+  std::vector<baselines::ShortestPathCoordinator> coords(psim.num_lps());
+  std::vector<sim::Coordinator*> coord_ptrs;
+  for (auto& c : coords) coord_ptrs.push_back(&c);
+  psim.run(coord_ptrs);
+  EXPECT_THROW(psim.run(coord_ptrs), std::logic_error);
+  // Wrong coordinator count is rejected before any thread starts.
+  sim::ParallelSimulator fresh(scenario, kSeed, 2);
+  std::vector<sim::Coordinator*> too_few{coord_ptrs.front()};
+  EXPECT_THROW(fresh.run(too_few), std::invalid_argument);
+}

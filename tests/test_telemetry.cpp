@@ -192,6 +192,31 @@ TEST(Histogram, JsonRoundTrip) {
   EXPECT_DOUBLE_EQ(restored.percentile(99.0), h.percentile(99.0));
 }
 
+TEST(Histogram, FromJsonRejectsCountBucketMismatch) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(1.0 + i);
+  util::Json json = h.to_json();
+  // A truncated write that lost bucket entries but kept the scalar count
+  // would produce exactly this: count no longer equals the bucket sum.
+  json.as_object()["count"] = util::Json(static_cast<double>(h.count() + 1));
+  EXPECT_THROW(Histogram::from_json(json), util::JsonError);
+}
+
+TEST(Histogram, FromJsonRejectsInvertedMinMax) {
+  Histogram h;
+  h.add(5.0);
+  h.add(7.0);
+  util::Json json = h.to_json();
+  json.as_object()["min"] = util::Json(9.0);  // min > max with count > 0
+  EXPECT_THROW(Histogram::from_json(json), util::JsonError);
+
+  // NaN extremes are just as inconsistent and must not slip through the
+  // comparison.
+  util::Json nan_json = h.to_json();
+  nan_json.as_object()["min"] = util::Json(std::nan(""));
+  EXPECT_THROW(Histogram::from_json(nan_json), util::JsonError);
+}
+
 TEST(Registry, CountersAndGauges) {
   MetricsRegistry registry;
   registry.counter("a").add(3);
