@@ -1,0 +1,309 @@
+// Batched multi-env rollout benchmark: fused decision forwards vs the
+// sequential batch-1 (GEMV) rollout path.
+//
+// Three sections, all landing in BENCH_rollout_batched.json ("dosc.bench.v1"):
+//
+//  1. Exactness gates: every Table-I topology plus the ft_k4/wan_100 corpus
+//     entries, at batch widths 1/4/16 — each batched episode's event digest
+//     and SimMetrics must equal its sequential twin bit for bit. A mismatch
+//     fails the run (nonzero exit), because a throughput number from a
+//     driver that changed behaviour is worthless.
+//  2. Interleaved A/B on Abilene with the paper's 2x256 net: B episodes
+//     driven batched vs the same B episodes driven sequentially, alternated
+//     within each trial (median of 3) so frequency scaling hits both sides
+//     alike. Reports env_steps/s (serviced decisions per wall second) and
+//     the batched/sequential speedup per width.
+//  3. The rl.rollout.batch_rows telemetry histogram observed during the
+//     widest batched run: achieved rows per fused forward — the histogram
+//     CI asserts on, proving the batching is real, not nominal.
+//
+// DOSC_BENCH_SMOKE=1 (CI) shortens horizons but exercises every section.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/corpus.hpp"
+#include "check/digest.hpp"
+#include "core/batched_episode.hpp"
+#include "core/drl_env.hpp"
+#include "core/observation.hpp"
+#include "net/topology_zoo.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/batched_rollout.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+using namespace dosc;
+
+namespace {
+
+bool smoke() {
+  static const bool on = [] {
+    const char* env = std::getenv("DOSC_BENCH_SMOKE");
+    return env != nullptr && std::string_view(env) != "0";
+  }();
+  return on;
+}
+
+double gate_episode_time() { return smoke() ? 200.0 : 1000.0; }
+double ab_episode_time() { return smoke() ? 300.0 : 2000.0; }
+std::size_t ab_trials() { return 3; }  // median-of-3 protocol, smoke included
+
+sim::Scenario topo_scenario(const std::string& topology, double end_time) {
+  return sim::make_base_scenario(2, traffic::TrafficSpec::poisson(10.0), 100.0, topology,
+                                 end_time);
+}
+
+rl::ActorCritic paper_policy(const sim::Scenario& scenario) {
+  rl::ActorCriticConfig config;
+  config.obs_dim = core::observation_dim(scenario.network().max_degree());
+  config.num_actions = scenario.network().max_degree() + 1;
+  config.hidden = {256, 256};  // the paper's Sec. V-A2 architecture
+  config.seed = 42;
+  return rl::ActorCritic(config);
+}
+
+struct EpisodeRun {
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t decisions = 0;
+};
+
+bool operator==(const EpisodeRun& a, const EpisodeRun& b) {
+  return a.digest == b.digest && a.events == b.events && a.succeeded == b.succeeded &&
+         a.dropped == b.dropped && a.decisions == b.decisions;
+}
+
+EpisodeRun from_metrics(const check::EventDigest& digest, const sim::SimMetrics& metrics) {
+  return EpisodeRun{digest.digest(), digest.events(), metrics.succeeded, metrics.dropped,
+                    metrics.decisions};
+}
+
+/// Sequential reference: greedy episode through the classic sim.run path.
+EpisodeRun run_sequential(const sim::Scenario& scenario, const rl::ActorCritic& policy,
+                          std::uint64_t seed) {
+  sim::Simulator sim(scenario, seed);
+  core::DistributedDrlCoordinator coordinator(policy, scenario.network().max_degree());
+  check::EventDigest digest;
+  sim.set_audit_hook(&digest);
+  const sim::SimMetrics metrics = sim.run(coordinator);
+  return from_metrics(digest, metrics);
+}
+
+/// Batched drive of `width` greedy episodes seeded seed_base..+width-1.
+/// Fills per-episode runs; returns total serviced decisions.
+std::uint64_t run_batched(const sim::Scenario& scenario, const rl::ActorCritic& policy,
+                          std::uint64_t seed_base, std::size_t width,
+                          std::vector<EpisodeRun>& runs) {
+  std::vector<std::unique_ptr<core::DistributedDrlCoordinator>> coordinators;
+  std::vector<std::unique_ptr<core::YieldingEpisode>> episodes;
+  std::vector<check::EventDigest> digests(width);
+  std::vector<rl::BatchedEnv*> envs;
+  for (std::size_t e = 0; e < width; ++e) {
+    coordinators.push_back(std::make_unique<core::DistributedDrlCoordinator>(
+        policy, scenario.network().max_degree()));
+    episodes.push_back(std::make_unique<core::YieldingEpisode>(
+        scenario, seed_base + e, *coordinators.back(), *coordinators.back()));
+    episodes.back()->simulator().set_audit_hook(&digests[e]);
+    envs.push_back(episodes.back().get());
+  }
+  rl::BatchedRollout driver(policy.actor(), policy.config().obs_dim);
+  const rl::BatchedRolloutStats stats = driver.run(envs);
+  runs.clear();
+  for (std::size_t e = 0; e < width; ++e) {
+    runs.push_back(from_metrics(digests[e], episodes[e]->finish()));
+  }
+  return stats.decisions;
+}
+
+/// Streaming drive of `total` greedy episodes through a width-`width`
+/// batch with refill — the steady-state shape every consumer uses. Fills
+/// per-episode runs (episode order) and the driver stats.
+std::uint64_t run_batched_stream(const sim::Scenario& scenario, const rl::ActorCritic& policy,
+                                 std::uint64_t seed_base, std::size_t width,
+                                 std::size_t total, std::vector<EpisodeRun>& runs,
+                                 rl::BatchedRolloutStats* stats_out = nullptr) {
+  std::vector<std::unique_ptr<core::DistributedDrlCoordinator>> coordinators;
+  std::vector<std::unique_ptr<core::YieldingEpisode>> episodes;
+  std::vector<std::unique_ptr<check::EventDigest>> digests;
+  std::size_t issued = 0;
+  const auto source = [&]() -> rl::BatchedEnv* {
+    if (issued >= total) return nullptr;
+    coordinators.push_back(std::make_unique<core::DistributedDrlCoordinator>(
+        policy, scenario.network().max_degree()));
+    episodes.push_back(std::make_unique<core::YieldingEpisode>(
+        scenario, seed_base + issued, *coordinators.back(), *coordinators.back()));
+    digests.push_back(std::make_unique<check::EventDigest>());
+    episodes.back()->simulator().set_audit_hook(digests.back().get());
+    ++issued;
+    return episodes.back().get();
+  };
+  rl::BatchedRollout driver(policy.actor(), policy.config().obs_dim);
+  const rl::BatchedRolloutStats stats = driver.run(width, source);
+  if (stats_out != nullptr) *stats_out = stats;
+  runs.clear();
+  for (std::size_t e = 0; e < total; ++e) {
+    runs.push_back(from_metrics(*digests[e], episodes[e]->finish()));
+  }
+  return stats.decisions;
+}
+
+double median3(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_rollout_batched (%s horizon): fused decision forwards vs batch-1\n",
+              smoke() ? "smoke" : "full");
+  util::Json::Array entries;
+  bool all_digests_match = true;
+
+  // ---- Section 1: exactness gates across topologies and widths ----------
+  std::vector<std::string> gate_scenarios = net::topology_names();
+  gate_scenarios.push_back("corpus:ft_k4_steady");
+  gate_scenarios.push_back("corpus:wan_100_steady");
+  for (const std::string& name : gate_scenarios) {
+    const bool corpus = name.rfind("corpus:", 0) == 0;
+    const std::string label = corpus ? name.substr(7) : name;
+    const sim::Scenario scenario =
+        corpus ? check::CorpusGenerator::make(label).with_end_time(gate_episode_time())
+               : topo_scenario(name, gate_episode_time());
+    const rl::ActorCritic policy = paper_policy(scenario);
+    bool match = true;
+    std::uint64_t checked = 0;
+    for (const std::size_t width : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      std::vector<EpisodeRun> expected;
+      for (std::size_t e = 0; e < width; ++e) {
+        expected.push_back(run_sequential(scenario, policy, 31000 + e));
+      }
+      std::vector<EpisodeRun> got;
+      run_batched(scenario, policy, 31000, width, got);
+      for (std::size_t e = 0; e < width; ++e) {
+        match = match && got[e] == expected[e];
+        ++checked;
+      }
+    }
+    all_digests_match = all_digests_match && match;
+    std::printf("gate %-16s widths {1,4,16}: %3llu episodes, digests %s\n", label.c_str(),
+                static_cast<unsigned long long>(checked), match ? "MATCH" : "DIFFER");
+    entries.push_back(util::Json(util::Json::Object{
+        {"kind", util::Json(std::string("digest_gate"))},
+        {"scenario", util::Json(label)},
+        {"episodes_checked", util::Json(static_cast<std::size_t>(checked))},
+        {"digests_match", util::Json(match)},
+    }));
+  }
+
+  // ---- Section 2: interleaved A/B, batched vs sequential (Abilene) ------
+  // A fixed stream of kAbEpisodes greedy episodes per side: the batched
+  // side holds `width` of them in flight with refill (the steady-state
+  // shape every consumer uses), the sequential side runs them one by one.
+  {
+    constexpr std::size_t kAbEpisodes = 32;
+    const sim::Scenario scenario = topo_scenario("abilene", ab_episode_time());
+    const rl::ActorCritic policy = paper_policy(scenario);
+    std::printf("%-8s %14s %14s %9s %9s  (%zu episodes per side)\n", "batch", "seq_steps/s",
+                "batch_steps/s", "speedup", "digests", kAbEpisodes);
+    for (const std::size_t width :
+         {std::size_t{1}, std::size_t{4}, std::size_t{8}, std::size_t{16}}) {
+      std::vector<double> seq_rate, batched_rate;
+      bool match = true;
+      for (std::size_t trial = 0; trial < ab_trials(); ++trial) {
+        const std::uint64_t seed_base = 62000 + trial * 100;
+        // Interleave within the trial: batched then sequential back to
+        // back, so frequency scaling and cache state hit both alike.
+        std::vector<EpisodeRun> batched_runs;
+        {
+          const util::Timer timer;
+          const std::uint64_t decisions = run_batched_stream(scenario, policy, seed_base,
+                                                             width, kAbEpisodes, batched_runs);
+          const double s = timer.elapsed_micros() / 1e6;
+          batched_rate.push_back(s > 0.0 ? static_cast<double>(decisions) / s : 0.0);
+        }
+        {
+          const util::Timer timer;
+          std::uint64_t decisions = 0;
+          for (std::size_t e = 0; e < kAbEpisodes; ++e) {
+            const EpisodeRun run = run_sequential(scenario, policy, seed_base + e);
+            decisions += run.decisions;
+            match = match && run == batched_runs[e];
+          }
+          const double s = timer.elapsed_micros() / 1e6;
+          seq_rate.push_back(s > 0.0 ? static_cast<double>(decisions) / s : 0.0);
+        }
+      }
+      all_digests_match = all_digests_match && match;
+      const double seq = median3(seq_rate);
+      const double batched = median3(batched_rate);
+      const double speedup = seq > 0.0 ? batched / seq : 0.0;
+      std::printf("%-8zu %14.0f %14.0f %8.2fx %9s\n", width, seq, batched, speedup,
+                  match ? "MATCH" : "DIFFER");
+      entries.push_back(util::Json(util::Json::Object{
+          {"kind", util::Json(std::string("ab_batched_vs_seq"))},
+          {"scenario", util::Json(std::string("abilene"))},
+          {"batch", util::Json(width)},
+          {"episodes", util::Json(kAbEpisodes)},
+          {"trials", util::Json(ab_trials())},
+          {"seq_steps_per_sec", util::Json(seq)},
+          {"batched_steps_per_sec", util::Json(batched)},
+          {"speedup", util::Json(speedup)},
+          {"digests_match", util::Json(match)},
+      }));
+    }
+  }
+
+  // ---- Section 3: achieved batch width histogram (telemetry) ------------
+  {
+    const sim::Scenario scenario = topo_scenario("abilene", ab_episode_time());
+    const rl::ActorCritic policy = paper_policy(scenario);
+    telemetry::set_enabled(true);
+    std::vector<EpisodeRun> runs;
+    rl::BatchedRolloutStats stats;
+    const std::uint64_t decisions =
+        run_batched_stream(scenario, policy, 73000, 16, 32, runs, &stats);
+    telemetry::set_enabled(false);
+    const telemetry::Histogram hist =
+        telemetry::MetricsRegistry::global().histogram("rl.rollout.batch_rows");
+    std::printf("batch_rows histogram (B=16 stream): %llu rounds, %llu decisions, "
+                "p50 %.1f rows, p90 %.1f rows, %llu gemv rows\n",
+                static_cast<unsigned long long>(hist.count()),
+                static_cast<unsigned long long>(decisions), hist.percentile(50.0),
+                hist.percentile(90.0), static_cast<unsigned long long>(stats.gemv_rows));
+    entries.push_back(util::Json(util::Json::Object{
+        {"kind", util::Json(std::string("batch_rows_histogram"))},
+        {"batch", util::Json(std::size_t{16})},
+        {"episodes", util::Json(std::size_t{32})},
+        {"rounds", util::Json(static_cast<std::size_t>(hist.count()))},
+        {"decisions", util::Json(static_cast<std::size_t>(decisions))},
+        {"gemv_rows", util::Json(static_cast<std::size_t>(stats.gemv_rows))},
+        {"rows_p50", util::Json(hist.percentile(50.0))},
+        {"rows_p90", util::Json(hist.percentile(90.0))},
+    }));
+  }
+
+  const util::Json doc(util::Json::Object{
+      {"schema", util::Json("dosc.bench.v1")},
+      {"benchmark", util::Json("rollout_batched")},
+      {"smoke", util::Json(smoke())},
+      {"digests_match", util::Json(all_digests_match)},
+      {"results", util::Json(std::move(entries))},
+  });
+  const std::string path = "BENCH_rollout_batched.json";
+  doc.save_file(path, 2);
+  std::printf("wrote %s; digests %s\n", path.c_str(),
+              all_digests_match ? "MATCH" : "DIFFER");
+  return all_digests_match ? 0 : 1;
+}

@@ -24,11 +24,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "core/batched_episode.hpp"
 #include "core/drl_env.hpp"
 #include "core/observation.hpp"
 #include "core/trainer.hpp"
@@ -93,6 +96,7 @@ struct ThroughputResult {
   double mean_staleness = 0.0;
   std::size_t workers = 0;
   std::size_t learner_threads = 0;
+  double mean_envs_per_round = 0.0;  ///< batched worker mode only
   double steps_per_sec() const { return wall_ms > 0.0 ? 1000.0 * env_steps / wall_ms : 0.0; }
   double updates_per_sec() const { return wall_ms > 0.0 ? 1000.0 * updates / wall_ms : 0.0; }
 };
@@ -128,7 +132,32 @@ ThroughputResult run_sync(const sim::Scenario& scenario) {
   return result;
 }
 
-ThroughputResult run_async(const sim::Scenario& scenario, std::size_t workers) {
+/// One async-worker episode environment for the batched mode: the same
+/// TrainingEnv + seed grid as run_episode, driven through the decision-yield
+/// surface instead of sim.run.
+class BenchRolloutEpisode final : public rl::RolloutEpisode {
+ public:
+  BenchRolloutEpisode(const sim::Scenario& scenario, std::uint64_t seed,
+                      const rl::ActorCritic& policy, rl::TrajectoryBuffer& buffer)
+      : env_(policy, buffer, core::RewardConfig{}, scenario.network().max_degree(),
+             util::Rng(seed * 31 + 7), {}, /*record_behavior_logp=*/true),
+        episode_(scenario, seed, env_, env_, &env_) {}
+
+  bool advance_to_decision() override { return episode_.advance_to_decision(); }
+  void write_observation(std::span<double> out) override { episode_.write_observation(out); }
+  void apply_logits(std::span<const double> logits) override { episode_.apply_logits(logits); }
+  double finish() override {
+    episode_.finish();
+    return env_.episode_reward();
+  }
+
+ private:
+  core::TrainingEnv env_;
+  core::YieldingEpisode episode_;
+};
+
+ThroughputResult run_async(const sim::Scenario& scenario, std::size_t workers,
+                           std::size_t envs_per_worker = 1) {
   rl::ActorCritic net(net_config(scenario));
   rl::AsyncTrainerConfig config;
   config.num_workers = workers;
@@ -144,6 +173,16 @@ ThroughputResult run_async(const sim::Scenario& scenario, std::size_t workers) {
   config.merge_seed = [](std::size_t update) {
     return core::episode_seed(kSeedBase, 0, update, 777);
   };
+  config.envs_per_worker = envs_per_worker;
+  if (envs_per_worker > 1) {
+    config.episode_factory = [&scenario](std::size_t, std::size_t episode,
+                                         const rl::ActorCritic& policy,
+                                         rl::TrajectoryBuffer& buffer) {
+      const std::uint64_t es = core::episode_seed(kSeedBase, 0, episode / kEpisodesPerUpdate,
+                                                  episode % kEpisodesPerUpdate);
+      return std::make_unique<BenchRolloutEpisode>(scenario, es, policy, buffer);
+    };
+  }
   rl::AsyncTrainer trainer(config, [&scenario](std::size_t, std::size_t episode,
                                                const rl::ActorCritic& policy,
                                                rl::TrajectoryBuffer& buffer) {
@@ -159,11 +198,14 @@ ThroughputResult run_async(const sim::Scenario& scenario, std::size_t workers) {
   result.mean_staleness = stats.mean_staleness;
   result.workers = stats.workers;
   result.learner_threads = stats.learner_threads;
+  result.mean_envs_per_round = stats.mean_envs_per_round;
   return result;
 }
 
-/// Section 3: full train_distributed_policy parity, sync vs lockstep async.
-bool lockstep_parity(const sim::Scenario& scenario) {
+/// Section 3: full train_distributed_policy parity, sync vs lockstep async
+/// (envs_per_worker = 1 is the classic worker; > 1 re-proves that batched
+/// workers leave the lockstep parameter trajectory untouched).
+bool lockstep_parity(const sim::Scenario& scenario, std::size_t envs_per_worker) {
   core::TrainingConfig config;
   config.hidden = {16, 16};
   config.num_seeds = 1;
@@ -176,6 +218,7 @@ bool lockstep_parity(const sim::Scenario& scenario) {
   async_config.async.enabled = true;
   async_config.async.num_workers = 1;
   async_config.async.max_staleness = 0;
+  async_config.async.envs_per_worker = envs_per_worker;
   const core::TrainedPolicy sync_policy = core::train_distributed_policy(scenario, config);
   const core::TrainedPolicy async_policy =
       core::train_distributed_policy(scenario, async_config);
@@ -204,6 +247,7 @@ int main() {
               sync_result.updates_per_sec(), "-", "1.00x");
   entries.push_back(util::Json(util::Json::Object{
       {"kind", util::Json(std::string("sync_baseline"))},
+      {"hardware_threads", util::Json(static_cast<std::size_t>(hw))},
       {"updates", util::Json(sync_result.updates)},
       {"env_steps", util::Json(sync_result.env_steps)},
       {"wall_ms", util::Json(sync_result.wall_ms)},
@@ -220,13 +264,50 @@ int main() {
     std::printf("%-12s %8zu %8zu %12.0f %11.2f %10.2f %7.2fx\n", "async", r.workers,
                 r.learner_threads, r.steps_per_sec(), r.updates_per_sec(),
                 r.mean_staleness, speedup);
+    // True oversubscription only: more than one worker AND the resolved
+    // partition does not fit the machine. The 1-worker point on a 1-core
+    // host runs the minimum viable worker+learner pair — timeshared, but
+    // not an oversubscribed sweep point.
     const rl::ThreadBudget budget = rl::resolve_thread_budget(workers, 0, hw);
+    const bool oversubscribed =
+        hw > 0 && budget.workers > 1 && budget.workers + budget.learner_threads > hw;
     entries.push_back(util::Json(util::Json::Object{
         {"kind", util::Json(std::string("async_sweep"))},
         {"requested_workers", util::Json(workers)},
         {"workers", util::Json(r.workers)},
         {"learner_threads", util::Json(r.learner_threads)},
-        {"oversubscribed", util::Json(hw > 0 && workers + budget.learner_threads > hw)},
+        {"hardware_threads", util::Json(static_cast<std::size_t>(hw))},
+        {"oversubscribed", util::Json(oversubscribed)},
+        {"updates", util::Json(r.updates)},
+        {"env_steps", util::Json(r.env_steps)},
+        {"wall_ms", util::Json(r.wall_ms)},
+        {"env_steps_per_sec", util::Json(r.steps_per_sec())},
+        {"updates_per_sec", util::Json(r.updates_per_sec())},
+        {"mean_staleness", util::Json(r.mean_staleness)},
+        {"speedup_vs_sync", util::Json(speedup)},
+    }));
+  }
+
+  // ---- Section 2b: batched workers (envs_per_worker sweep) --------------
+  // Each worker drives B concurrent envs through fused forwards; the
+  // mean_envs_per_round column shows how many episodes one staleness-gate
+  // pass delivered — the larger merged update windows the batched mode
+  // exists to produce.
+  for (const std::size_t envs : {2u, 4u, 8u}) {
+    const ThroughputResult r = run_async(scenario, /*workers=*/1, envs);
+    const double speedup =
+        sync_result.steps_per_sec() > 0.0 ? r.steps_per_sec() / sync_result.steps_per_sec()
+                                          : 0.0;
+    std::printf("%-12s %8zu %8zu %12.0f %11.2f %10.2f %7.2fx  (B=%zu, %.2f envs/round)\n",
+                "async_batch", r.workers, r.learner_threads, r.steps_per_sec(),
+                r.updates_per_sec(), r.mean_staleness, speedup, envs, r.mean_envs_per_round);
+    entries.push_back(util::Json(util::Json::Object{
+        {"kind", util::Json(std::string("async_batched_sweep"))},
+        {"envs_per_worker", util::Json(envs)},
+        {"workers", util::Json(r.workers)},
+        {"learner_threads", util::Json(r.learner_threads)},
+        {"hardware_threads", util::Json(static_cast<std::size_t>(hw))},
+        {"mean_envs_per_round", util::Json(r.mean_envs_per_round)},
         {"updates", util::Json(r.updates)},
         {"env_steps", util::Json(r.env_steps)},
         {"wall_ms", util::Json(r.wall_ms)},
@@ -238,12 +319,21 @@ int main() {
   }
 
   // ---- Section 3: lockstep bit-parity ----------------------------------
-  const bool parity = lockstep_parity(scenario);
+  const bool parity = lockstep_parity(scenario, /*envs_per_worker=*/1);
   std::printf("lockstep parity (1 worker, staleness 0 vs sync): %s\n",
               parity ? "IDENTICAL" : "DIVERGED");
   entries.push_back(util::Json(util::Json::Object{
       {"kind", util::Json(std::string("lockstep_parity"))},
+      {"envs_per_worker", util::Json(std::size_t{1})},
       {"parameters_bit_identical", util::Json(parity)},
+  }));
+  const bool batched_parity = lockstep_parity(scenario, /*envs_per_worker=*/4);
+  std::printf("lockstep parity (batched worker, B=4 vs sync): %s\n",
+              batched_parity ? "IDENTICAL" : "DIVERGED");
+  entries.push_back(util::Json(util::Json::Object{
+      {"kind", util::Json(std::string("lockstep_parity"))},
+      {"envs_per_worker", util::Json(std::size_t{4})},
+      {"parameters_bit_identical", util::Json(batched_parity)},
   }));
 
   const util::Json doc(util::Json::Object{
@@ -256,5 +346,5 @@ int main() {
   const std::string path = "BENCH_train_async.json";
   doc.save_file(path, 2);
   std::printf("wrote %s\n", path.c_str());
-  return parity ? 0 : 1;
+  return (parity && batched_parity) ? 0 : 1;
 }

@@ -41,6 +41,28 @@ int TrainingEnv::decide(const sim::Simulator& sim, const sim::Flow& flow, net::N
   return action;
 }
 
+const std::vector<double>& TrainingEnv::build_observation(const sim::Simulator& sim,
+                                                          const sim::Flow& flow,
+                                                          net::NodeId node) {
+  pending_obs_ = &obs_.build(sim, flow, node);
+  return *pending_obs_;
+}
+
+int TrainingEnv::decide_from_logits(const sim::Flow& flow, std::span<const double> logits) {
+  // decide() with the actor forward hoisted out: sample_action(obs, ...) is
+  // predict_row + sample_action_from_logits, so feeding the fused forward's
+  // logit row through the same sampler consumes rng_ identically.
+  if (record_behavior_logp_) {
+    double logp = 0.0;
+    const int action = rl::ActorCritic::sample_action_from_logits(logits, rng_, &logp);
+    buffer_.record_decision(flow.id, *pending_obs_, action, logp);
+    return action;
+  }
+  const int action = rl::ActorCritic::sample_action_from_logits(logits, rng_);
+  buffer_.record_decision(flow.id, *pending_obs_, action);
+  return action;
+}
+
 void TrainingEnv::on_completed(const sim::Flow& flow, double /*time*/) {
   const double r = shaper_->on_completed();
   buffer_.record_reward(flow.id, r);
@@ -94,6 +116,17 @@ int DistributedDrlCoordinator::decide(const sim::Simulator& sim, const sim::Flow
 
 void DistributedDrlCoordinator::on_episode_start(const sim::Simulator& sim) {
   obs_.bind(sim);
+}
+
+const std::vector<double>& DistributedDrlCoordinator::build_observation(
+    const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) {
+  return obs_.build(sim, flow, node);
+}
+
+int DistributedDrlCoordinator::decide_from_logits(const sim::Flow& /*flow*/,
+                                                  std::span<const double> logits) {
+  return stochastic_ ? rl::ActorCritic::sample_action_from_logits(logits, rng_)
+                     : rl::ActorCritic::greedy_action_from_logits(logits);
 }
 
 LegacyDistributedDrlCoordinator::LegacyDistributedDrlCoordinator(const rl::ActorCritic& policy,

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/observation.hpp"
@@ -46,11 +47,34 @@ class RewardShaper {
   double diameter_;
 };
 
+/// The decision pipeline split around the actor forward, for batched
+/// rollout (rl::BatchedRollout): build_observation exposes the pending
+/// decision's observation row so the driver can gather it into a fused
+/// predict_batch, and decide_from_logits finishes the decision from the
+/// externally computed logit row. decide(sim, flow, node) ==
+/// build_observation + actor forward + decide_from_logits, sharing the
+/// sampling code (ActorCritic::sample_action_from_logits), so action and
+/// rng-stream behaviour are bit-identical whichever way a decision runs.
+class BatchedDecisionAgent {
+ public:
+  virtual ~BatchedDecisionAgent() = default;
+  /// Observation for the pending decision; the reference stays valid until
+  /// the agent's next build. The matching decide_from_logits call must
+  /// happen before the next build_observation on this agent.
+  virtual const std::vector<double>& build_observation(const sim::Simulator& sim,
+                                                       const sim::Flow& flow,
+                                                       net::NodeId node) = 0;
+  virtual int decide_from_logits(const sim::Flow& flow,
+                                 std::span<const double> logits) = 0;
+};
+
 /// Training-time environment adapter (Alg. 1, lines 4-9): samples actions
 /// from the policy being trained, records (observation, action) per flow,
 /// and credits shaped rewards to the flow's most recent decision. Implements
 /// both simulator callbacks; plug one instance into one Simulator episode.
-class TrainingEnv final : public sim::Coordinator, public sim::FlowObserver {
+class TrainingEnv final : public sim::Coordinator,
+                          public sim::FlowObserver,
+                          public BatchedDecisionAgent {
  public:
   /// `record_behavior_logp` additionally stores log pi(a|o) with every
   /// decision (async training's clipped-IS correction needs it). The rng
@@ -61,6 +85,11 @@ class TrainingEnv final : public sim::Coordinator, public sim::FlowObserver {
 
   int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
   void on_episode_start(const sim::Simulator& sim) override;
+
+  const std::vector<double>& build_observation(const sim::Simulator& sim,
+                                               const sim::Flow& flow,
+                                               net::NodeId node) override;
+  int decide_from_logits(const sim::Flow& flow, std::span<const double> logits) override;
 
   void on_completed(const sim::Flow& flow, double time) override;
   void on_dropped(const sim::Flow& flow, sim::DropReason reason, double time) override;
@@ -82,6 +111,9 @@ class TrainingEnv final : public sim::Coordinator, public sim::FlowObserver {
   const sim::Simulator* sim_ = nullptr;
   double episode_reward_ = 0.0;
   bool record_behavior_logp_ = false;
+  /// Observation of the in-flight split decision (build_observation →
+  /// decide_from_logits); points into obs_'s buffer, valid until next build.
+  const std::vector<double>* pending_obs_ = nullptr;
 };
 
 /// Fully distributed online inference (Alg. 1, lines 13-19): a trained
@@ -89,7 +121,8 @@ class TrainingEnv final : public sim::Coordinator, public sim::FlowObserver {
 /// Per-decision wall-clock time for the Fig. 9b measurement is recorded by
 /// the simulator (Simulator::enable_decision_timing →
 /// SimMetrics::decision_time), uniformly for all algorithms.
-class DistributedDrlCoordinator final : public sim::Coordinator {
+class DistributedDrlCoordinator final : public sim::Coordinator,
+                                        public BatchedDecisionAgent {
  public:
   /// `stochastic` samples from the policy (as during training); the default
   /// greedy mode takes the argmax action, the usual deployment choice.
@@ -100,6 +133,11 @@ class DistributedDrlCoordinator final : public sim::Coordinator {
   int decide(const sim::Simulator& sim, const sim::Flow& flow, net::NodeId node) override;
   /// Binds the observation builder's per-episode fast-path tables.
   void on_episode_start(const sim::Simulator& sim) override;
+
+  const std::vector<double>& build_observation(const sim::Simulator& sim,
+                                               const sim::Flow& flow,
+                                               net::NodeId node) override;
+  int decide_from_logits(const sim::Flow& flow, std::span<const double> logits) override;
 
  private:
   const rl::ActorCritic& policy_;

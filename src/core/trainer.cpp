@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "core/batched_episode.hpp"
 #include "nn/parallel.hpp"
 #include "rl/async_trainer.hpp"
+#include "rl/batched_rollout.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -72,6 +75,38 @@ class RewardTally final : public sim::FlowObserver {
   double total_ = 0.0;
 };
 
+/// rl::RolloutEpisode for the async trainer's batched worker mode: one
+/// TrainingEnv + YieldingEpisode pair per episode ticket, built from the
+/// same seed grid (and the same rng stream `es * 31 + 7`) as the RolloutFn
+/// below, so the recorded trajectories are bit-identical to the
+/// one-episode-at-a-time loop.
+class AsyncRolloutEpisode final : public rl::RolloutEpisode {
+ public:
+  AsyncRolloutEpisode(const sim::Scenario& scenario, std::uint64_t seed,
+                      const rl::ActorCritic& policy, rl::TrajectoryBuffer& buffer,
+                      const RewardConfig& reward, std::size_t max_degree,
+                      const ObservationMask& mask)
+      : env_(policy, buffer, reward, max_degree, util::Rng(seed * 31 + 7), mask,
+             /*record_behavior_logp=*/true),
+        episode_(scenario, seed, env_, env_, &env_) {}
+
+  bool advance_to_decision() override { return episode_.advance_to_decision(); }
+  void write_observation(std::span<double> out) override {
+    episode_.write_observation(out);
+  }
+  void apply_logits(std::span<const double> logits) override {
+    episode_.apply_logits(logits);
+  }
+  double finish() override {
+    episode_.finish();
+    return env_.episode_reward();
+  }
+
+ private:
+  TrainingEnv env_;        // must outlive episode_ (constructed first)
+  YieldingEpisode episode_;
+};
+
 /// One seed's training in the decoupled async actor/learner mode: the
 /// simulator side of rl::AsyncTrainer. Episode g reuses the synchronous
 /// trainer's seed grid — iteration g / l, environment g % l — so async runs
@@ -96,6 +131,21 @@ void run_async_seed(rl::ActorCritic& net, const TrainingConfig& config,
   async_config.merge_seed = [&config, seed_index](std::size_t update) {
     return episode_seed(config.seed_base, seed_index, update, 777);
   };
+  async_config.envs_per_worker = config.async.envs_per_worker;
+  if (config.async.envs_per_worker > 1) {
+    async_config.episode_factory =
+        [&config, &train_scenario, max_degree, seed_index](
+            std::size_t /*worker*/, std::size_t episode, const rl::ActorCritic& policy,
+            rl::TrajectoryBuffer& buffer) -> std::unique_ptr<rl::RolloutEpisode> {
+      const std::size_t iteration = episode / config.parallel_envs;
+      const std::size_t env_index = episode % config.parallel_envs;
+      const std::uint64_t es =
+          episode_seed(config.seed_base, seed_index, iteration, env_index);
+      return std::make_unique<AsyncRolloutEpisode>(train_scenario, es, policy, buffer,
+                                                   config.reward, max_degree,
+                                                   config.observation_mask);
+    };
+  }
   rl::RolloutFn rollout = [&config, &train_scenario, max_degree, seed_index](
                               std::size_t /*worker*/, std::size_t episode,
                               const rl::ActorCritic& policy, rl::TrajectoryBuffer& buffer) {
@@ -123,8 +173,9 @@ void run_async_seed(rl::ActorCritic& net, const TrainingConfig& config,
 EvalResult evaluate_policy(const sim::Scenario& scenario, const rl::ActorCritic& policy,
                            const RewardConfig& reward, std::size_t episodes,
                            double episode_time, std::uint64_t seed_base, ObservationMask mask,
-                           std::size_t parallel_episodes) {
+                           std::size_t parallel_episodes, std::size_t batch_envs) {
   const sim::Scenario eval_scenario = scenario.with_end_time(episode_time);
+  const std::size_t max_degree = scenario.network().max_degree();
   struct EpisodeResult {
     double success = 0.0;
     double reward = 0.0;
@@ -134,7 +185,7 @@ EvalResult evaluate_policy(const sim::Scenario& scenario, const rl::ActorCritic&
   std::vector<EpisodeResult> per_episode(episodes);
   const auto run_episode = [&](std::size_t e) {
     sim::Simulator sim(eval_scenario, seed_base + e);
-    DistributedDrlCoordinator coordinator(policy, scenario.network().max_degree(),
+    DistributedDrlCoordinator coordinator(policy, max_degree,
                                           /*stochastic=*/false, util::Rng(0), mask);
     RewardTally tally(reward, sim);
     const sim::SimMetrics metrics = sim.run(coordinator, &tally);
@@ -144,29 +195,85 @@ EvalResult evaluate_policy(const sim::Scenario& scenario, const rl::ActorCritic&
     slot.has_delay = metrics.e2e_delay.count() > 0;
     if (slot.has_delay) slot.delay = metrics.e2e_delay.mean();
   };
-
   if (parallel_episodes == 0) parallel_episodes = std::thread::hardware_concurrency();
+  if (batch_envs == 0) batch_envs = 1;
+  const std::size_t obs_dim = policy.actor().input_size();
+  // Episodes are claimed one at a time off a shared counter. In the classic
+  // path each worker runs its claim to completion; in the batched flavor
+  // each worker streams its claims through a BatchedRollout that keeps
+  // batch_envs episodes in flight, so the achieved GEMM width stays at the
+  // nominal batch across episode boundaries instead of draining into a
+  // narrow tail. Each episode keeps its own simulator/coordinator/tally and
+  // greedy decisions depend only on the episode's own logit row, so results
+  // (and event digests) equal run_episode's bit for bit at any width or
+  // claim interleaving.
+  std::atomic<std::size_t> next_episode{0};
+  const auto run_episode_stream = [&](rl::BatchedRollout& driver) {
+    std::vector<std::unique_ptr<DistributedDrlCoordinator>> coordinators;
+    std::vector<std::unique_ptr<YieldingEpisode>> stream;
+    std::vector<std::unique_ptr<RewardTally>> tallies;
+    std::vector<std::size_t> claimed;
+    const auto source = [&]() -> rl::BatchedEnv* {
+      const std::size_t e = next_episode.fetch_add(1, std::memory_order_relaxed);
+      if (e >= episodes) return nullptr;
+      coordinators.push_back(std::make_unique<DistributedDrlCoordinator>(
+          policy, max_degree, /*stochastic=*/false, util::Rng(0), mask));
+      stream.push_back(std::make_unique<YieldingEpisode>(eval_scenario, seed_base + e,
+                                                         *coordinators.back(),
+                                                         *coordinators.back()));
+      // The tally needs the simulator reference, which the episode owns;
+      // the observer is consumed lazily at the first advance, so attaching
+      // it after construction is safe.
+      tallies.push_back(std::make_unique<RewardTally>(reward, stream.back()->simulator()));
+      stream.back()->set_observer(tallies.back().get());
+      claimed.push_back(e);
+      return stream.back().get();
+    };
+    driver.run(batch_envs, source);
+    for (std::size_t i = 0; i < claimed.size(); ++i) {
+      const sim::SimMetrics metrics = stream[i]->finish();
+      EpisodeResult& slot = per_episode[claimed[i]];
+      slot.success = metrics.success_ratio();
+      slot.reward = tallies[i]->total();
+      slot.has_delay = metrics.e2e_delay.count() > 0;
+      if (slot.has_delay) slot.delay = metrics.e2e_delay.mean();
+    }
+  };
+  const auto run_claims = [&](rl::BatchedRollout* driver) {
+    if (driver != nullptr) {
+      run_episode_stream(*driver);
+      return;
+    }
+    for (std::size_t e = next_episode.fetch_add(1, std::memory_order_relaxed); e < episodes;
+         e = next_episode.fetch_add(1, std::memory_order_relaxed)) {
+      run_episode(e);
+    }
+  };
+  const std::size_t claim_units = (episodes + batch_envs - 1) / batch_envs;
   const std::size_t workers =
-      std::max<std::size_t>(1, std::min(parallel_episodes, episodes));
+      std::max<std::size_t>(1, std::min(parallel_episodes, claim_units));
   if (workers <= 1) {
-    for (std::size_t e = 0; e < episodes; ++e) run_episode(e);
+    std::unique_ptr<rl::BatchedRollout> driver;
+    if (batch_envs > 1) driver = std::make_unique<rl::BatchedRollout>(policy.actor(), obs_dim);
+    run_claims(driver.get());
   } else {
-    // Episodes are claimed off a shared counter; each fills only its own
-    // result slot, so no cross-thread state is touched during a run.
-    std::atomic<std::size_t> next{0};
+    // Workers fill only their own claims' result slots, so no cross-thread
+    // state is touched during a run.
     std::exception_ptr first_error;
     std::mutex error_mu;
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       pool.emplace_back([&] {
-        for (std::size_t e = next.fetch_add(1); e < episodes; e = next.fetch_add(1)) {
-          try {
-            run_episode(e);
-          } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (!first_error) first_error = std::current_exception();
+        try {
+          std::unique_ptr<rl::BatchedRollout> driver;
+          if (batch_envs > 1) {
+            driver = std::make_unique<rl::BatchedRollout>(policy.actor(), obs_dim);
           }
+          run_claims(driver.get());
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
         }
       });
     }
@@ -269,7 +376,52 @@ TrainedPolicy train_distributed_policy(const sim::Scenario& scenario,
         }
       };
 
-      {
+      if (config.batched_rollout) {
+        // Batched alternative to the l rollout threads: all l environments
+        // advance concurrently on this thread and their decision forwards
+        // fuse into one predict_batch (which keeps the GEMM thread pool).
+        // Each env still has its own rng/buffer and the forward pass is
+        // deterministic at any thread count, so the batches — and the
+        // parameter trajectory — are bit-identical to the threaded path.
+        DOSC_TRACE_SCOPE("train", "rollout");
+        const util::Timer rollout_timer;
+        std::vector<rl::TrajectoryBuffer> buffers;
+        std::vector<std::unique_ptr<TrainingEnv>> train_envs;
+        std::vector<std::unique_ptr<YieldingEpisode>> eps;
+        std::vector<rl::BatchedEnv*> env_ptrs;
+        for (std::size_t e = 0; e < config.parallel_envs; ++e) {
+          buffers.emplace_back(config.gamma);
+        }
+        for (std::size_t e = 0; e < config.parallel_envs; ++e) {
+          const std::uint64_t es = episode_seed(config.seed_base, seed_index, iteration, e);
+          train_envs.push_back(std::make_unique<TrainingEnv>(
+              net, buffers[e], config.reward, max_degree, util::Rng(es * 31 + 7),
+              config.observation_mask));
+          eps.push_back(std::make_unique<YieldingEpisode>(
+              train_scenario, es, *train_envs[e], *train_envs[e], train_envs[e].get()));
+          env_ptrs.push_back(eps[e].get());
+        }
+        rl::BatchedRollout driver(net.actor(), obs_dim);
+        driver.run(env_ptrs);
+        std::size_t total_steps = 0;
+        for (std::size_t e = 0; e < config.parallel_envs; ++e) {
+          eps[e]->finish();
+          buffers[e].truncate_all();
+          batches[e] = buffers[e].drain(net, obs_dim);
+          episode_rewards[e] = train_envs[e]->episode_reward();
+          total_steps += batches[e].size();
+        }
+        if (telemetry::enabled()) {
+          const double rollout_s = rollout_timer.elapsed_seconds();
+          telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+          registry.observe("train.rollout_ms", rollout_s * 1e3);
+          registry.counter("train.env_steps").add(total_steps);
+          if (rollout_s > 0.0) {
+            registry.observe("train.env_steps_per_s",
+                             static_cast<double>(total_steps) / rollout_s);
+          }
+        }
+      } else {
         // The l rollout workers own the machine for this phase: any batch
         // linear algebra they trigger runs inline instead of competing with
         // them for cores. The synchronous update below (after the join) gets
@@ -326,7 +478,7 @@ TrainedPolicy train_distributed_policy(const sim::Scenario& scenario,
     const EvalResult eval =
         evaluate_policy(scenario, net, config.reward, config.eval_episodes,
                         config.eval_episode_time, /*seed_base=*/9000 + seed_index,
-                        config.observation_mask, config.eval_parallel);
+                        config.observation_mask, config.eval_parallel, config.eval_batch);
     best.per_seed_success.push_back(eval.success_ratio);
     if (config.verbose) {
       util::Log(util::LogLevel::kInfo, "trainer")

@@ -34,6 +34,12 @@ struct AsyncTrainingConfig {
   /// Learner GEMM threads; 0 = hardware threads minus workers (>= 1). See
   /// rl::resolve_thread_budget for the oversubscription guard.
   std::size_t learner_threads = 0;
+  /// Environments each worker drives concurrently through the batched
+  /// rollout driver (rl::BatchedRollout): decision forwards across the B
+  /// in-flight episodes fuse into one GEMM, and a worker's update window
+  /// merges more episodes per gate pass. 1 = classic one-episode loop.
+  /// Lockstep parity (1 worker, max_staleness 0) is preserved for any B.
+  std::size_t envs_per_worker = 1;
 };
 
 struct TrainingConfig {
@@ -54,6 +60,17 @@ struct TrainingConfig {
   /// Concurrent eval episodes (0 = one per hardware thread). Any value
   /// yields bit-identical evaluation results; see evaluate_policy.
   std::size_t eval_parallel = 1;
+  /// Episodes each eval worker drives concurrently through the batched
+  /// rollout driver (fused policy forwards). Any value yields bit-identical
+  /// results; see evaluate_policy.
+  std::size_t eval_batch = 1;
+  /// Roll the l parallel training environments out through one batched
+  /// driver on the calling thread instead of l rollout threads. The merged
+  /// batches — and the parameter trajectory — are bit-identical to the
+  /// threaded path (the forward pass is deterministic at any thread count
+  /// and each env keeps its own rng/buffer); preferable when l small
+  /// forwards per decision underutilize the cores the threads occupy.
+  bool batched_rollout = false;
   std::uint64_t seed_base = 1;
   bool verbose = false;
   AsyncTrainingConfig async;       ///< decoupled actor/learner mode
@@ -102,11 +119,16 @@ struct EvalResult {
 /// own Simulator seeded seed_base + e and its own coordinator — and the
 /// per-episode stats are merged in ascending episode order after all
 /// workers join, so the result is bit-identical for every parallelism
-/// level, including the sequential default.
+/// level, including the sequential default. `batch_envs` > 1 additionally
+/// drives that many episodes concurrently *within* each worker through
+/// rl::BatchedRollout, fusing their greedy policy forwards into one GEMM;
+/// the greedy decision per row depends only on that row's logits, so this
+/// too is bit-identical to the sequential default at any batch size.
 EvalResult evaluate_policy(const sim::Scenario& scenario, const rl::ActorCritic& policy,
                            const RewardConfig& reward, std::size_t episodes,
                            double episode_time, std::uint64_t seed_base,
-                           ObservationMask mask = {}, std::size_t parallel_episodes = 1);
+                           ObservationMask mask = {}, std::size_t parallel_episodes = 1,
+                           std::size_t batch_envs = 1);
 
 /// Deterministic per-episode simulator seed, decorrelated across
 /// (training seed, iteration, environment) so the l parallel workers of an

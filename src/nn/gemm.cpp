@@ -11,7 +11,7 @@
 // uses whatever the project-wide flags allow; the AVX2+FMA instantiation is
 // compiled with a function-level target override and selected at runtime via
 // cpuid, so the shipped binary stays portable while hot loops use FMA.
-#define DOSC_GEMM_NAMESPACE baseline
+#define DOSC_GEMM_NAMESPACE gemm_baseline
 #include "nn/gemm_kernels.inc"
 #undef DOSC_GEMM_NAMESPACE
 
@@ -19,7 +19,7 @@
 #define DOSC_GEMM_HAVE_AVX2 1
 #pragma GCC push_options
 #pragma GCC target("avx2,fma")
-#define DOSC_GEMM_NAMESPACE avx2
+#define DOSC_GEMM_NAMESPACE gemm_avx2
 #define DOSC_GEMM_FMA 1
 #include "nn/gemm_kernels.inc"
 #undef DOSC_GEMM_FMA
@@ -28,6 +28,11 @@
 #endif
 
 namespace dosc::nn::gemm {
+
+// packed_b_size() quotes the baseline tile width for every dispatch level.
+#ifdef DOSC_GEMM_HAVE_AVX2
+static_assert(gemm_avx2::kNr == gemm_baseline::kNr);
+#endif
 
 namespace {
 
@@ -38,9 +43,17 @@ using RowsFn = void (*)(std::size_t row0, std::size_t row1, std::size_t n, std::
 using RefFn = void (*)(std::size_t m, std::size_t n, std::size_t kc, const double* a,
                        std::size_t lda, const double* b, std::size_t ldb, double* c,
                        std::size_t ldc, bool accumulate);
+using PackedRowsFn = void (*)(std::size_t row0, std::size_t row1, std::size_t n,
+                              std::size_t kc, const double* a, std::size_t a_rs,
+                              std::size_t a_ks, const double* bp_all, double* c,
+                              std::size_t ldc, bool accumulate);
+using PackBFn = void (*)(std::size_t kc, std::size_t n, const double* b, std::size_t ldb,
+                         double* bp);
 
 struct KernelSet {
   RowsFn rows;
+  PackedRowsFn rows_packed;
+  PackBFn pack_b;
   RefFn ref_nn;
   RefFn ref_tn;
   RefFn ref_nt;
@@ -52,12 +65,14 @@ const KernelSet& kernels() {
   static const KernelSet set = [] {
 #ifdef DOSC_GEMM_HAVE_AVX2
     if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-      return KernelSet{&avx2::gemm_rows, &avx2::ref_nn, &avx2::ref_tn, &avx2::ref_nt,
-                       avx2::kMr, "avx2+fma"};
+      return KernelSet{&gemm_avx2::gemm_rows, &gemm_avx2::gemm_rows_packed,
+                       &gemm_avx2::pack_b_slab, &gemm_avx2::ref_nn, &gemm_avx2::ref_tn,
+                       &gemm_avx2::ref_nt, gemm_avx2::kMr, "avx2+fma"};
     }
 #endif
-    return KernelSet{&baseline::gemm_rows, &baseline::ref_nn, &baseline::ref_tn,
-                     &baseline::ref_nt, baseline::kMr, "baseline"};
+    return KernelSet{&gemm_baseline::gemm_rows, &gemm_baseline::gemm_rows_packed,
+                     &gemm_baseline::pack_b_slab, &gemm_baseline::ref_nn, &gemm_baseline::ref_tn,
+                     &gemm_baseline::ref_nt, gemm_baseline::kMr, "baseline"};
   }();
   return set;
 }
@@ -115,6 +130,30 @@ void nn(std::size_t m, std::size_t n, std::size_t k, const double* a, std::size_
         const double* b, std::size_t ldb, double* c, std::size_t ldc, bool accumulate) {
   record(m, n, k);
   run_tiled(m, n, k, a, lda, 1, b, ldb, c, ldc, accumulate);
+}
+
+std::size_t packed_b_size(std::size_t k, std::size_t n) noexcept {
+  // Both ISA instantiations share kNr (static_asserted above), so the slab
+  // size is dispatch-independent.
+  return ((n + gemm_baseline::kNr - 1) / gemm_baseline::kNr) * k * gemm_baseline::kNr;
+}
+
+void pack_b(std::size_t k, std::size_t n, const double* b, std::size_t ldb, double* bp) {
+  kernels().pack_b(k, n, b, ldb, bp);
+}
+
+void nn_packed(std::size_t m, std::size_t n, std::size_t k, const double* a,
+               std::size_t lda, const double* bp, double* c, std::size_t ldc,
+               bool accumulate) {
+  record(m, n, k);
+  if (m == 0 || n == 0) return;
+  const KernelSet& ks = kernels();
+  const std::size_t per_row_macs = std::max<std::size_t>(1, n * k);
+  const std::size_t min_rows = (kMinMacsPerChunk + per_row_macs - 1) / per_row_macs;
+  parallel_for_rows(m, std::max(min_rows, ks.mr), ks.mr,
+                    [&](std::size_t row0, std::size_t row1) {
+                      ks.rows_packed(row0, row1, n, k, a, lda, 1, bp, c, ldc, accumulate);
+                    });
 }
 
 void tn(std::size_t m, std::size_t n, std::size_t k, const double* a, std::size_t lda,

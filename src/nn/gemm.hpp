@@ -29,6 +29,18 @@ namespace dosc::nn::gemm {
 void nn(std::size_t m, std::size_t n, std::size_t k, const double* a, std::size_t lda,
         const double* b, std::size_t ldb, double* c, std::size_t ldc, bool accumulate);
 
+/// Pre-packed B for repeated nn() products against one unchanging B (batched
+/// MLP inference reuses each layer's weight matrix every forward): pack once
+/// with pack_b into a caller-owned slab of packed_b_size doubles, then
+/// nn_packed streams the slab. The packed panels are byte-identical to the
+/// ones nn() packs per call, so nn_packed is bit-identical to nn() — only
+/// the per-call O(k*n) pack is elided.
+std::size_t packed_b_size(std::size_t k, std::size_t n) noexcept;
+void pack_b(std::size_t k, std::size_t n, const double* b, std::size_t ldb, double* bp);
+void nn_packed(std::size_t m, std::size_t n, std::size_t k, const double* a,
+               std::size_t lda, const double* bp, double* c, std::size_t ldc,
+               bool accumulate);
+
 /// C[m x n] (+)= A^T * B with A stored [k x m].
 void tn(std::size_t m, std::size_t n, std::size_t k, const double* a, std::size_t lda,
         const double* b, std::size_t ldb, double* c, std::size_t ldc, bool accumulate);

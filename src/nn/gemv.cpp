@@ -2,26 +2,39 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "telemetry/registry.hpp"
 
 // Kernel bodies are included once per ISA level, exactly like gemm.cpp: the
 // baseline instantiation uses the project-wide flags; the AVX2+FMA
 // instantiation is compiled with a function-level target override and
-// selected at runtime via cpuid.
-#define DOSC_GEMV_NAMESPACE baseline
+// selected at runtime via cpuid. tanh_kernels.inc rides along in each
+// namespace so the fused activation epilogue computes the exact same tanh —
+// same ISA level, same contraction pinning — as the dispatched bulk
+// vecmath::tanh_inplace the batch forward uses.
+#define DOSC_GEMV_NAMESPACE gemv_baseline
+#define DOSC_TANH_NAMESPACE gemv_tanh_baseline
+#include "nn/tanh_kernels.inc"
 #include "nn/gemv_kernels.inc"
+#undef DOSC_TANH_NAMESPACE
 #undef DOSC_GEMV_NAMESPACE
 
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
 #define DOSC_GEMV_HAVE_AVX2 1
 #pragma GCC push_options
 #pragma GCC target("avx2,fma")
-#define DOSC_GEMV_NAMESPACE avx2
+#define DOSC_GEMV_NAMESPACE gemv_avx2
+#define DOSC_TANH_NAMESPACE gemv_tanh_avx2
 #define DOSC_GEMV_FMA 1
+#define DOSC_TANH_FMA 1
+#include "nn/tanh_kernels.inc"
 #include "nn/gemv_kernels.inc"
+#undef DOSC_TANH_FMA
 #undef DOSC_GEMV_FMA
+#undef DOSC_TANH_NAMESPACE
 #undef DOSC_GEMV_NAMESPACE
 #pragma GCC pop_options
 #endif
@@ -42,10 +55,10 @@ const KernelSet& kernels() {
   static const KernelSet set = [] {
 #ifdef DOSC_GEMV_HAVE_AVX2
     if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-      return KernelSet{&avx2::gemv_bias_act, "avx2+fma"};
+      return KernelSet{&gemv_avx2::gemv_bias_act, "avx2+fma"};
     }
 #endif
-    return KernelSet{&baseline::gemv_bias_act, "baseline"};
+    return KernelSet{&gemv_baseline::gemv_bias_act, "baseline"};
   }();
   return set;
 }
@@ -67,9 +80,9 @@ void record(std::size_t in, std::size_t out) {
   }
 }
 
-static_assert(baseline::kNr == kPanelWidth);
+static_assert(gemv_baseline::kNr == kPanelWidth);
 #ifdef DOSC_GEMV_HAVE_AVX2
-static_assert(avx2::kNr == kPanelWidth);
+static_assert(gemv_avx2::kNr == kPanelWidth);
 #endif
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "nn/gemm.hpp"
 #include "nn/gemv.hpp"
+#include "nn/vecmath.hpp"
 
 namespace dosc::nn {
 
@@ -18,7 +19,8 @@ namespace dosc::nn {
 struct Mlp::PackCache {
   std::mutex mu;
   std::atomic<bool> valid{false};
-  std::vector<gemv::AlignedBuffer> panels;  ///< one packed slab per layer
+  std::vector<gemv::AlignedBuffer> panels;      ///< per-layer gemv pack
+  std::vector<gemv::AlignedBuffer> gemm_slabs;  ///< per-layer gemm B pack
 };
 
 Mlp::Mlp(std::vector<std::size_t> layer_sizes, Activation hidden, Activation output,
@@ -70,11 +72,18 @@ const Mlp::PackCache& Mlp::ensure_packed() const {
     std::lock_guard<std::mutex> lock(cache.mu);
     if (!cache.valid.load(std::memory_order_relaxed)) {
       cache.panels.resize(layers_.size());
+      cache.gemm_slabs.resize(layers_.size());
       for (std::size_t i = 0; i < layers_.size(); ++i) {
         const DenseLayer& layer = layers_[i];
         cache.panels[i].resize(gemv::packed_size(layer.fan_in(), layer.fan_out()));
         gemv::pack(layer.fan_in(), layer.fan_out(), layer.weights.data(),
                    cache.panels[i].data());
+        // Pre-packed B slab for predict_batch: the per-call pack inside
+        // gemm::nn is O(k*n) per layer per forward, which at rollout batch
+        // sizes (a handful of rows) rivals the product itself.
+        cache.gemm_slabs[i].resize(gemm::packed_b_size(layer.fan_in(), layer.fan_out()));
+        gemm::pack_b(layer.fan_in(), layer.fan_out(), layer.weights.data(),
+                     layer.fan_out(), cache.gemm_slabs[i].data());
       }
       cache.valid.store(true, std::memory_order_release);
     }
@@ -86,7 +95,7 @@ void Mlp::apply_activation(Matrix& m, Activation act) noexcept {
   switch (act) {
     case Activation::kLinear: return;
     case Activation::kTanh:
-      for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = std::tanh(m.data()[i]);
+      vecmath::tanh_inplace(m.data(), m.size());
       return;
     case Activation::kRelu:
       for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = std::max(0.0, m.data()[i]);
@@ -144,6 +153,7 @@ void Mlp::predict_batch(const double* input, std::size_t batch, std::vector<doub
     out.clear();
     return;
   }
+  const PackCache& cache = ensure_packed();
   const double* cur = input;
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     const DenseLayer& layer = layers_[li];
@@ -158,8 +168,8 @@ void Mlp::predict_batch(const double* input, std::size_t batch, std::vector<doub
       if (buf.size() < batch * n_out) buf.resize(batch * n_out);
       dst = buf.data();
     }
-    gemm::nn(batch, n_out, in, cur, in, layer.weights.data(), n_out, dst, n_out,
-             /*accumulate=*/false);
+    gemm::nn_packed(batch, n_out, in, cur, in, cache.gemm_slabs[li].data(), dst, n_out,
+                    /*accumulate=*/false);
     const double* bias = layer.bias.data();
     for (std::size_t r = 0; r < batch; ++r) {
       double* row = dst + r * n_out;
@@ -168,7 +178,7 @@ void Mlp::predict_batch(const double* input, std::size_t batch, std::vector<doub
     switch (layer.activation) {
       case Activation::kLinear: break;
       case Activation::kTanh:
-        for (std::size_t i = 0; i < batch * n_out; ++i) dst[i] = std::tanh(dst[i]);
+        vecmath::tanh_inplace(dst, batch * n_out);
         break;
       case Activation::kRelu:
         for (std::size_t i = 0; i < batch * n_out; ++i) dst[i] = std::max(0.0, dst[i]);
@@ -196,7 +206,7 @@ void Mlp::predict_row_legacy(std::span<const double> input, std::vector<double>&
     switch (layer.activation) {
       case Activation::kLinear: break;
       case Activation::kTanh:
-        for (double& v : scratch.b) v = std::tanh(v);
+        vecmath::tanh_inplace(scratch.b.data(), scratch.b.size());
         break;
       case Activation::kRelu:
         for (double& v : scratch.b) v = std::max(0.0, v);

@@ -82,11 +82,13 @@ class Mlp {
   /// Small-batch inference forward for the serving path: `input` is a
   /// row-major [batch x input_size] block, `out` is resized to
   /// batch * output_size (row-major). Routed through the tiled gemm kernels
-  /// with the exact operation order of predict() (matmul → bias row add →
-  /// activation), so each output row is bit-identical to predict() — and
-  /// therefore to predict_row() — at the dispatched ISA level. Alloc-free at
-  /// a steady batch shape with a caller-reused scratch. Thread-safe on a
-  /// const Mlp (per-caller scratch only).
+  /// over pre-packed per-layer weight slabs (repacked lazily after any
+  /// weight mutation, alongside the gemv panels) with the exact operation
+  /// order of predict() (matmul → bias row add → activation), so each output
+  /// row is bit-identical to predict() — and therefore to predict_row() — at
+  /// the dispatched ISA level. Alloc-free at a steady batch shape with a
+  /// caller-reused scratch. Thread-safe on a const Mlp (per-caller scratch,
+  /// one-time internal repack under a mutex).
   struct BatchScratch {
     std::vector<double> a;
     std::vector<double> b;

@@ -1,0 +1,63 @@
+#include "nn/vecmath.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+// Kernel bodies are included once per ISA level, exactly like gemm.cpp /
+// gemv.cpp: the baseline instantiation uses the project-wide flags; the
+// AVX2+FMA instantiation is compiled with a function-level target override
+// and selected at runtime via cpuid. This file is compiled with
+// -fno-trapping-math (see src/nn/CMakeLists.txt) so the branch-free kernel
+// loop actually vectorizes.
+#define DOSC_TANH_NAMESPACE vecmath_baseline
+#include "nn/tanh_kernels.inc"
+#undef DOSC_TANH_NAMESPACE
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define DOSC_TANH_HAVE_AVX2 1
+#pragma GCC push_options
+#pragma GCC target("avx2,fma")
+#define DOSC_TANH_NAMESPACE vecmath_avx2
+#define DOSC_TANH_FMA 1
+#include "nn/tanh_kernels.inc"
+#undef DOSC_TANH_FMA
+#undef DOSC_TANH_NAMESPACE
+#pragma GCC pop_options
+#endif
+
+namespace dosc::nn::vecmath {
+
+namespace {
+
+using TanhFn = void (*)(double* v, std::size_t count);
+
+struct KernelSet {
+  TanhFn tanh_inplace;
+  const char* isa;
+};
+
+const KernelSet& kernels() {
+  static const KernelSet set = [] {
+#ifdef DOSC_TANH_HAVE_AVX2
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return KernelSet{&vecmath_avx2::tanh_inplace, "avx2+fma"};
+    }
+#endif
+    return KernelSet{&vecmath_baseline::tanh_inplace, "baseline"};
+  }();
+  return set;
+}
+
+}  // namespace
+
+void tanh_inplace(double* v, std::size_t count) { kernels().tanh_inplace(v, count); }
+
+double tanh1(double x) {
+  kernels().tanh_inplace(&x, 1);
+  return x;
+}
+
+const char* tanh_isa() noexcept { return kernels().isa; }
+
+}  // namespace dosc::nn::vecmath

@@ -92,7 +92,12 @@ int ActorCritic::sample_action(std::span<const double> obs, util::Rng& rng) cons
 int ActorCritic::sample_action(std::span<const double> obs, util::Rng& rng,
                                double* logp) const {
   actor_.predict_row(obs, t_logits, t_scratch);
-  softmax_into(t_logits, t_probs);
+  return sample_action_from_logits(t_logits, rng, logp);
+}
+
+int ActorCritic::sample_action_from_logits(std::span<const double> logits,
+                                           util::Rng& rng, double* logp) {
+  softmax_into(logits, t_probs);
   // Inline CDF walk over the softmax scratch, replicating
   // util::Rng::categorical step for step (total in index order, the
   // degenerate-weights guard before any draw, one uniform(0, total) sample,
@@ -123,8 +128,12 @@ int ActorCritic::sample_action(std::span<const double> obs, util::Rng& rng,
 
 int ActorCritic::greedy_action(std::span<const double> obs) const {
   actor_.predict_row(obs, t_logits, t_scratch);
-  return static_cast<int>(std::max_element(t_logits.begin(), t_logits.end()) -
-                          t_logits.begin());
+  return greedy_action_from_logits(t_logits);
+}
+
+int ActorCritic::greedy_action_from_logits(std::span<const double> logits) {
+  return static_cast<int>(std::max_element(logits.begin(), logits.end()) -
+                          logits.begin());
 }
 
 double ActorCritic::value(std::span<const double> obs) const {

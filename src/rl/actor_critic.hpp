@@ -58,6 +58,14 @@ class ActorCritic {
   /// and the returned action are bit-identical to sample_action.
   int sample_action(std::span<const double> obs, util::Rng& rng, double* logp) const;
   int greedy_action(std::span<const double> obs) const;
+  /// Sampling/argmax from an already-computed actor logit row (batched
+  /// rollout: one fused predict_batch forward, then per-row action
+  /// selection). sample_action(obs, ...) is predict_row +
+  /// sample_action_from_logits — same code path, so rng consumption and the
+  /// chosen action are bit-identical whichever way the logits were produced.
+  static int sample_action_from_logits(std::span<const double> logits, util::Rng& rng,
+                                       double* logp = nullptr);
+  static int greedy_action_from_logits(std::span<const double> logits);
   double value(std::span<const double> obs) const;
 
   // --- training access ---

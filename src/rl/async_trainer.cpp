@@ -68,6 +68,10 @@ AsyncTrainer::AsyncTrainer(AsyncTrainerConfig config, RolloutFn rollout)
   if (!rollout_) {
     throw std::invalid_argument("AsyncTrainer: rollout callback required");
   }
+  if (config_.envs_per_worker > 1 && !config_.episode_factory) {
+    throw std::invalid_argument(
+        "AsyncTrainer: envs_per_worker > 1 requires episode_factory");
+  }
 }
 
 AsyncTrainStats AsyncTrainer::run(ActorCritic& net, const AsyncProgressFn& progress) {
@@ -114,6 +118,12 @@ AsyncTrainStats AsyncTrainer::run(ActorCritic& net, const AsyncProgressFn& progr
         .set(static_cast<double>(budget.learner_threads));
   }
 
+  const std::size_t envs_per_worker = std::max<std::size_t>(1, config_.envs_per_worker);
+  // Round accounting for the batched mode: episodes delivered per
+  // staleness-gate pass, reported as AsyncTrainStats::mean_envs_per_round.
+  std::atomic<std::size_t> batched_rounds{0};
+  std::atomic<std::size_t> batched_episodes{0};
+
   auto worker_fn = [&](std::size_t w) {
     try {
       ActorCritic local(net.config());
@@ -121,6 +131,24 @@ AsyncTrainStats AsyncTrainer::run(ActorCritic& net, const AsyncProgressFn& progr
       if (config_.reserve_flows > 0 && config_.reserve_steps_per_flow > 0) {
         buffer.reserve(config_.reserve_flows, config_.reserve_steps_per_flow,
                        config_.obs_dim);
+      }
+      // Batched-rollout state (envs_per_worker > 1): one trajectory buffer
+      // per in-flight episode, a reused driver, and the per-round ticket /
+      // environment lists.
+      std::vector<TrajectoryBuffer> buffers;
+      std::unique_ptr<BatchedRollout> driver;
+      std::vector<std::size_t> tickets;
+      std::vector<std::unique_ptr<RolloutEpisode>> round_envs;
+      std::vector<BatchedEnv*> env_ptrs;
+      if (envs_per_worker > 1) {
+        driver = std::make_unique<BatchedRollout>(local.actor(), config_.obs_dim);
+        for (std::size_t i = 0; i < envs_per_worker; ++i) {
+          buffers.emplace_back(config_.gamma);
+          if (config_.reserve_flows > 0 && config_.reserve_steps_per_flow > 0) {
+            buffers.back().reserve(config_.reserve_flows, config_.reserve_steps_per_flow,
+                                   config_.obs_dim);
+          }
+        }
       }
       std::uint64_t applied_version = 0;
       bool have_params = false;
@@ -155,26 +183,86 @@ AsyncTrainStats AsyncTrainer::run(ActorCritic& net, const AsyncProgressFn& progr
           }
           version_used = snapshot->version;
         }
-        const double episode_reward = rollout_(w, episode, local, buffer);
-        buffer.truncate_all();
-        Chunk chunk;
-        recycle_queues[w]->try_pop(chunk);  // reuse returned storage if any
-        buffer.drain_into(chunk.batch, local, config_.obs_dim,
-                          /*with_behavior_logp=*/true);
-        chunk.version = version_used;
-        chunk.episode_reward = episode_reward;
-        chunk.episode = episode;
-        chunk.worker = w;
-        bool queue_waited = false;
-        while (!work_queues[w]->try_push(chunk)) {
-          if (stop.load(std::memory_order_acquire)) return;
-          queue_waited = true;
-          std::this_thread::yield();
+        if (envs_per_worker <= 1) {
+          const double episode_reward = rollout_(w, episode, local, buffer);
+          buffer.truncate_all();
+          Chunk chunk;
+          recycle_queues[w]->try_pop(chunk);  // reuse returned storage if any
+          buffer.drain_into(chunk.batch, local, config_.obs_dim,
+                            /*with_behavior_logp=*/true);
+          chunk.version = version_used;
+          chunk.episode_reward = episode_reward;
+          chunk.episode = episode;
+          chunk.worker = w;
+          bool queue_waited = false;
+          while (!work_queues[w]->try_push(chunk)) {
+            if (stop.load(std::memory_order_acquire)) return;
+            queue_waited = true;
+            std::this_thread::yield();
+          }
+          if (telemetry::enabled()) {
+            registry.counter("train.async.episodes").add(1);
+            if (queue_waited) registry.counter("train.async.queue_full_waits").add(1);
+          }
+          continue;
         }
-        if (telemetry::enabled()) {
-          registry.counter("train.async.episodes").add(1);
-          if (queue_waited) registry.counter("train.async.queue_full_waits").add(1);
+        // Batched round: the blocking gate above covered only the first
+        // ticket; further tickets are claimed opportunistically, and only
+        // while their own gate already passes. Blocking for a later
+        // ticket's gate while holding earlier unrolled tickets would
+        // deadlock the lockstep configuration (the learner needs exactly
+        // those chunks to publish the version being waited for).
+        tickets.clear();
+        tickets.push_back(episode);
+        while (tickets.size() < envs_per_worker) {
+          std::size_t next_ticket = episode_tickets.load(std::memory_order_relaxed);
+          if (next_ticket >= total_episodes) break;
+          const std::size_t next_update = next_ticket / per_update;
+          const std::uint64_t next_required =
+              (next_update > config_.max_staleness)
+                  ? static_cast<std::uint64_t>(next_update - config_.max_staleness)
+                  : 0;
+          if (published_version.load(std::memory_order_acquire) < next_required) break;
+          if (episode_tickets.compare_exchange_weak(next_ticket, next_ticket + 1,
+                                                    std::memory_order_relaxed)) {
+            tickets.push_back(next_ticket);
+          }
         }
+        batched_rounds.fetch_add(1, std::memory_order_relaxed);
+        batched_episodes.fetch_add(tickets.size(), std::memory_order_relaxed);
+        round_envs.clear();
+        env_ptrs.clear();
+        for (std::size_t i = 0; i < tickets.size(); ++i) {
+          round_envs.push_back(
+              config_.episode_factory(w, tickets[i], local, buffers[i]));
+          env_ptrs.push_back(round_envs[i].get());
+        }
+        driver->run(env_ptrs);
+        // Push in ticket order: a single worker's FIFO then carries the
+        // synchronous env order, exactly like the one-episode loop.
+        for (std::size_t i = 0; i < tickets.size(); ++i) {
+          const double episode_reward = round_envs[i]->finish();
+          buffers[i].truncate_all();
+          Chunk chunk;
+          recycle_queues[w]->try_pop(chunk);
+          buffers[i].drain_into(chunk.batch, local, config_.obs_dim,
+                                /*with_behavior_logp=*/true);
+          chunk.version = version_used;
+          chunk.episode_reward = episode_reward;
+          chunk.episode = tickets[i];
+          chunk.worker = w;
+          bool queue_waited = false;
+          while (!work_queues[w]->try_push(chunk)) {
+            if (stop.load(std::memory_order_acquire)) return;
+            queue_waited = true;
+            std::this_thread::yield();
+          }
+          if (telemetry::enabled()) {
+            registry.counter("train.async.episodes").add(1);
+            if (queue_waited) registry.counter("train.async.queue_full_waits").add(1);
+          }
+        }
+        round_envs.clear();  // destroy the round's simulators before the next claim
       }
     } catch (...) {
       worker_errors[w] = std::current_exception();
@@ -319,6 +407,11 @@ AsyncTrainStats AsyncTrainer::run(ActorCritic& net, const AsyncProgressFn& progr
   }
   totals.mean_staleness =
       totals.episodes > 0 ? staleness_total / static_cast<double>(totals.episodes) : 0.0;
+  const std::size_t rounds = batched_rounds.load(std::memory_order_relaxed);
+  totals.mean_envs_per_round =
+      rounds > 0 ? static_cast<double>(batched_episodes.load(std::memory_order_relaxed)) /
+                       static_cast<double>(rounds)
+                 : 0.0;
   return totals;
 }
 

@@ -33,8 +33,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "rl/batched_rollout.hpp"
 #include "rl/rollout.hpp"
 #include "rl/updater.hpp"
 
@@ -57,6 +59,24 @@ struct PolicySnapshot {
 /// which keeps the async trainer independent of the simulation layer.
 using RolloutFn = std::function<double(std::size_t worker, std::size_t episode,
                                        const ActorCritic& policy, TrajectoryBuffer& buffer)>;
+
+/// One episode's environment in the batched-rollout worker mode
+/// (envs_per_worker > 1): a yieldable BatchedEnv plus the end-of-episode
+/// readout. finish() fires the episode-end callbacks and returns the
+/// episode's total shaped reward; call it once, after advance_to_decision
+/// returned false.
+class RolloutEpisode : public BatchedEnv {
+ public:
+  virtual double finish() = 0;
+};
+
+/// Creates the environment for one episode ticket, recording decisions and
+/// rewards (behavior log-probs included) into `buffer`. Same contract as
+/// RolloutFn with the episode loop inverted; the simulator stays behind the
+/// callback, keeping this layer simulation-free.
+using EpisodeFactory = std::function<std::unique_ptr<RolloutEpisode>(
+    std::size_t worker, std::size_t episode, const ActorCritic& policy,
+    TrajectoryBuffer& buffer)>;
 
 struct AsyncTrainerConfig {
   std::size_t num_workers = 2;
@@ -89,6 +109,17 @@ struct AsyncTrainerConfig {
   /// configuration reproduces it exactly. Default: a fixed hash of the
   /// update index.
   std::function<std::uint64_t(std::size_t update)> merge_seed;
+  /// Environments each worker drives concurrently through BatchedRollout
+  /// (fused decision forwards, one trajectory buffer per in-flight episode).
+  /// 1 keeps the classic one-episode-at-a-time loop byte for byte. A worker
+  /// blocks on the staleness gate only for its first ticket of a round and
+  /// claims the rest opportunistically (gate already passed), so pacing
+  /// cannot deadlock; in lockstep (max_staleness 0) a whole update window's
+  /// tickets pass together and the window composition — and the parameter
+  /// trajectory — matches the sequential worker exactly.
+  std::size_t envs_per_worker = 1;
+  /// Required when envs_per_worker > 1; ignored otherwise.
+  EpisodeFactory episode_factory;
 };
 
 struct AsyncProgress {
@@ -106,6 +137,10 @@ struct AsyncTrainStats {
   double mean_staleness = 0.0;    ///< over all consumed chunks
   std::size_t workers = 0;        ///< resolved thread budget actually used
   std::size_t learner_threads = 0;
+  /// Batched worker mode only (envs_per_worker > 1): episodes rolled per
+  /// claim round, averaged over all rounds — how many episodes a worker
+  /// delivered per staleness-gate pass. 0 in the classic one-episode mode.
+  double mean_envs_per_round = 0.0;
 };
 
 /// Explicit non-overlapping thread budgets for the async trainer: rollout

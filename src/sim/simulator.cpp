@@ -465,7 +465,26 @@ void Simulator::advance_until(double limit) {
       dispatch_event(event);
     }
     maybe_compact_heap();
+    if (decision_pending_) break;  // decision-yield mode: pause for the caller
   }
+}
+
+bool Simulator::advance_to_decision(double limit) {
+  if (decision_pending_) {
+    throw std::logic_error(
+        "Simulator::advance_to_decision: resume_with_action not called");
+  }
+  yield_decisions_ = true;
+  advance_until(limit);
+  return decision_pending_;
+}
+
+void Simulator::resume_with_action(int action) {
+  if (!decision_pending_) {
+    throw std::logic_error("Simulator::resume_with_action: no pending decision");
+  }
+  decision_pending_ = false;
+  apply_action(pending_flow(), pending_node_, action);
 }
 
 SimMetrics Simulator::finish() {
@@ -615,6 +634,15 @@ void Simulator::handle_flow_arrival(const Event& event) {
     return;
   }
   ++metrics_.decisions;
+  if (yield_decisions_) {
+    // Pause here; the caller observes (flow, node) and resumes with the
+    // action. The flow is guaranteed live at resume: the loop stops right
+    // after this event, so nothing can drop it in between.
+    decision_pending_ = true;
+    pending_handle_ = event.h;
+    pending_node_ = node;
+    return;
+  }
   const int action = timed_decide(flow, node);
   apply_action(flow, node, action);
 }

@@ -67,6 +67,31 @@ class Simulator {
   /// Fire the episode-end callbacks, flush telemetry, return the metrics.
   SimMetrics finish();
 
+  // --- decision-yield driving (batched rollout; rl/batched_rollout.hpp) ---
+  //
+  // Inverts control at the decision point: instead of the engine calling
+  // Coordinator::decide synchronously inside the flow-arrival handler, the
+  // episode runs until a decision is due, pauses with the (flow, node) pair
+  // exposed, and resumes once the caller supplies the action. Everything
+  // else — event order, metrics counting, audit/digest hooks — is the
+  // run() path verbatim, so an episode driven this way is bit-identical to
+  // run() given identical actions. Decision timing (enable_decision_timing)
+  // is not recorded for yielded decisions: the wall time between yield and
+  // resume measures the batching driver, not the policy.
+  /// Advance until a coordinator decision is due or `limit` is reached.
+  /// Returns true when paused at a decision (then pending_flow()/
+  /// pending_node() are valid and resume_with_action() must be called
+  /// before advancing again); false when no decision occurred.
+  bool advance_to_decision(double limit);
+  bool decision_pending() const noexcept { return decision_pending_; }
+  /// The flow awaiting a decision. Valid only while decision_pending().
+  Flow& pending_flow() {
+    return flow_slots_[handle_slot(pending_handle_)].flow;
+  }
+  net::NodeId pending_node() const noexcept { return pending_node_; }
+  /// Apply the caller's action for the pending decision and clear it.
+  void resume_with_action(int action);
+
   // --- partition-mode surface (empty / zero in sequential mode) ---
   std::uint32_t part_id() const noexcept { return part_id_; }
   /// Flows this engine handed to / admitted from neighbouring LPs.
@@ -376,6 +401,13 @@ class Simulator {
   double time_ = 0.0;
   bool ran_ = false;
   bool time_decisions_ = false;
+  /// Decision-yield mode (advance_to_decision): the flow-arrival handler
+  /// records the pending (flow, node) instead of calling decide, and the
+  /// event loop pauses after that event.
+  bool yield_decisions_ = false;
+  bool decision_pending_ = false;
+  std::uint64_t pending_handle_ = 0;
+  net::NodeId pending_node_ = 0;
   std::array<std::uint64_t, kNumEventKinds> events_by_kind_{};
 
   // Flow pool (slot map + free list).

@@ -7,6 +7,7 @@
 
 #include "nn/mlp.hpp"
 #include "nn/parallel.hpp"
+#include "nn/vecmath.hpp"
 #include "util/rng.hpp"
 
 namespace dosc::nn {
@@ -242,7 +243,9 @@ TEST(Mlp, ForwardBackwardBitIdenticalToReferenceKernels) {
     Matrix z = matmul_reference(h, layer.weights);
     add_row_vector(z, layer.bias);
     if (layer.activation == Activation::kTanh) {
-      for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] = std::tanh(z.data()[i]);
+      // The project tanh kernel, not std::tanh: forward() dispatches through
+      // nn::vecmath and the reference must apply the identical function.
+      nn::vecmath::tanh_inplace(z.data(), z.size());
     }
     outputs.push_back(z);
     h = z;

@@ -229,7 +229,15 @@ TEST_F(ServeServerTest, InvalidRequestGetsAnErrorReplyNotSilence) {
             serve::wire::DecodeError::kOk);
   EXPECT_EQ(response.status, serve::wire::Status::kInvalidRequest);
   EXPECT_EQ(response.request_id, 7u);
-  EXPECT_EQ(server_->stats().invalid_requests, 1u);
+  // The worker sends the reply before bumping its counters, so the stats
+  // update can land just after the client's recv — wait it out (sanitized
+  // single-core runs widen that window enough to flake a bare read).
+  std::uint64_t invalid = 0;
+  for (int i = 0; i < 200 && invalid == 0; ++i) {
+    invalid = server_->stats().invalid_requests;
+    if (invalid == 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(invalid, 1u);
 }
 
 TEST_F(ServeServerTest, GarbageDatagramsAreCountedAndNeverAnsweredOrFatal) {

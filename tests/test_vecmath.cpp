@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "nn/vecmath.hpp"
+#include "util/rng.hpp"
+
+namespace dosc::nn {
+namespace {
+
+// The project tanh replaced std::tanh as the Mlp activation so the
+// activation loops vectorize (DESIGN.md section 13.4). These tests pin the
+// two properties everything downstream rests on: scalar/bulk bit-identity
+// (the gemv fused epilogue vs the batch forward's array application) and
+// near-libm accuracy across the full input range.
+
+TEST(Vecmath, ScalarAndArrayApplicationsAreBitIdentical) {
+  util::Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 4096; ++i) xs.push_back(rng.normal(0.0, 4.0));
+  for (int exp10 = -300; exp10 <= 2; exp10 += 7) {
+    xs.push_back(std::pow(10.0, exp10));
+    xs.push_back(-std::pow(10.0, exp10));
+  }
+  std::vector<double> bulk = xs;
+  vecmath::tanh_inplace(bulk.data(), bulk.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double one = vecmath::tanh1(xs[i]);
+    EXPECT_EQ(one, bulk[i]) << "x=" << xs[i];
+  }
+}
+
+TEST(Vecmath, MatchesLibmTanhToAFewUlp) {
+  util::Rng rng(12);
+  double max_abs = 0.0;
+  double max_rel = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    double x = rng.normal(0.0, 6.0);
+    if (i % 3 == 0) x *= 1e-6;
+    if (i % 997 == 0) x *= 1e-200;
+    const double ref = std::tanh(x);
+    const double got = vecmath::tanh1(x);
+    const double abs = std::fabs(got - ref);
+    max_abs = std::max(max_abs, abs);
+    if (ref != 0.0) max_rel = std::max(max_rel, abs / std::fabs(ref));
+  }
+  EXPECT_LT(max_abs, 5e-16);
+  EXPECT_LT(max_rel, 2e-15);
+}
+
+TEST(Vecmath, OddSymmetryIsExact) {
+  util::Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(0.0, 5.0);
+    EXPECT_EQ(vecmath::tanh1(-x), -vecmath::tanh1(x)) << "x=" << x;
+  }
+}
+
+TEST(Vecmath, EdgeCases) {
+  EXPECT_EQ(vecmath::tanh1(0.0), 0.0);
+  EXPECT_FALSE(std::signbit(vecmath::tanh1(0.0)));
+  EXPECT_EQ(vecmath::tanh1(-0.0), -0.0);
+  EXPECT_TRUE(std::signbit(vecmath::tanh1(-0.0)));
+  // Below tanh's curvature scale the function is the identity in double.
+  EXPECT_EQ(vecmath::tanh1(1e-300), 1e-300);
+  EXPECT_EQ(vecmath::tanh1(-1e-300), -1e-300);
+  // Saturation: exactly 1.0 from ~18.7 out, through infinity.
+  EXPECT_EQ(vecmath::tanh1(19.0), 1.0);
+  EXPECT_EQ(vecmath::tanh1(700.0), 1.0);
+  EXPECT_EQ(vecmath::tanh1(std::numeric_limits<double>::infinity()), 1.0);
+  EXPECT_EQ(vecmath::tanh1(-std::numeric_limits<double>::infinity()), -1.0);
+  EXPECT_TRUE(std::isnan(vecmath::tanh1(std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(Vecmath, ReportsDispatchedIsa) {
+  const std::string isa = vecmath::tanh_isa();
+  EXPECT_TRUE(isa == "avx2+fma" || isa == "baseline") << isa;
+}
+
+}  // namespace
+}  // namespace dosc::nn
